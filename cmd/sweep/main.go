@@ -1,0 +1,123 @@
+// Command sweep runs a custom one-axis parameter sweep of the multicast
+// simulation and emits CSV, for exploration beyond the registered
+// experiments.
+//
+// Usage:
+//
+//	sweep -axis m     [-values 1,2,4,8,16,32] [-dests 31] [-tree optimal]
+//	sweep -axis dests [-values 3,7,15,31,47,63] [-packets 8]
+//	sweep -axis k     [-values 1,2,3,4,5,6]    [-packets 8]
+//	sweep -axis tns   [-values 1,2,3,6,12]     [-packets 16]
+//	sweep -axis ports [-values 1,2,4,8]        [-packets 16]
+//
+// Every point is averaged over -trials destination sets on each of -topos
+// random topologies, like the paper's methodology.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	axis := flag.String("axis", "m", "sweep axis: m, dests, k, tns, ports")
+	valuesFlag := flag.String("values", "", "comma-separated axis values (defaults per axis)")
+	dests := flag.Int("dests", 31, "destinations (fixed unless axis=dests)")
+	packets := flag.Int("packets", 8, "packets (fixed unless axis=m)")
+	treeKind := flag.String("tree", "optimal", "tree policy: optimal, binomial, linear (ignored for axis=k)")
+	trials := flag.Int("trials", 10, "destination sets per topology")
+	topos := flag.Int("topos", 4, "random topologies")
+	flag.Parse()
+
+	defaults := map[string]string{
+		"m":     "1,2,4,8,16,32",
+		"dests": "3,7,15,31,47,63",
+		"k":     "1,2,3,4,5,6",
+		"tns":   "1,2,3,6,12",
+		"ports": "1,2,4,8",
+	}
+	if _, ok := defaults[*axis]; !ok {
+		fmt.Fprintf(os.Stderr, "sweep: unknown axis %q\n", *axis)
+		os.Exit(1)
+	}
+	vstr := *valuesFlag
+	if vstr == "" {
+		vstr = defaults[*axis]
+	}
+	var values []float64
+	for _, s := range strings.Split(vstr, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: bad value %q\n", s)
+			os.Exit(1)
+		}
+		values = append(values, v)
+	}
+
+	var policy repro.TreePolicy
+	switch *treeKind {
+	case "optimal":
+		policy = repro.OptimalTree
+	case "binomial":
+		policy = repro.BinomialTree
+	case "linear":
+		policy = repro.LinearTree
+	default:
+		fmt.Fprintf(os.Stderr, "sweep: unknown tree policy %q\n", *treeKind)
+		os.Exit(1)
+	}
+
+	sweep := workload.Sweep{Trials: *trials, Topologies: *topos, BaseSeed: 0x5EED}
+	systems := make([]*repro.System, *topos)
+	for t := range systems {
+		systems[t] = repro.NewIrregularSystem(repro.DefaultIrregularConfig(), sweep.TopologySeed(t))
+	}
+
+	tb := stats.NewTable("", *axis, "latency_us_mean", "latency_us_std", "latency_us_p95", "channel_wait_us")
+	for _, v := range values {
+		var lat stats.Sample
+		var latSum, wait stats.Summary
+		for t, sys := range systems {
+			for i := 0; i < sweep.Trials; i++ {
+				rng := sweep.TrialRNG(t, i)
+				params := repro.DefaultParams()
+				dc, m, k := *dests, *packets, 0
+				pol := policy
+				switch *axis {
+				case "m":
+					m = int(v)
+				case "dests":
+					dc = int(v)
+				case "k":
+					k = int(v)
+					pol = repro.FixedKTree
+				case "tns":
+					params.TNISend = v
+				case "ports":
+					params.NIPorts = int(v)
+				}
+				set := workload.DestSet(rng, 64, dc)
+				spec := repro.Spec{Source: set[0], Dests: set[1:], Packets: m, Policy: pol, K: k}
+				res := sys.Simulate(sys.Plan(spec), params, repro.FPFS)
+				lat.Add(res.Latency)
+				latSum.Add(res.Latency)
+				wait.Add(res.ChannelWait)
+			}
+		}
+		tb.AddRow(
+			strconv.FormatFloat(v, 'g', -1, 64),
+			fmt.Sprintf("%.2f", latSum.Mean()),
+			fmt.Sprintf("%.2f", latSum.Std()),
+			fmt.Sprintf("%.2f", lat.P95()),
+			fmt.Sprintf("%.2f", wait.Mean()),
+		)
+	}
+	fmt.Print(tb.CSV())
+}

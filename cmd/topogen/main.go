@@ -1,0 +1,59 @@
+// Command topogen generates a random irregular switch topology (the
+// paper's 64-host / 16-switch testbed by default) and emits it as JSON or
+// Graphviz DOT.
+//
+// Usage:
+//
+//	topogen [-seed 1] [-hosts 64] [-switches 16] [-ports 8] [-format json|dot]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/routing"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "generator seed")
+	hosts := flag.Int("hosts", 64, "number of hosts")
+	switches := flag.Int("switches", 16, "number of switches")
+	ports := flag.Int("ports", 8, "ports per switch")
+	format := flag.String("format", "json", "output format: json or dot")
+	stats := flag.Bool("stats", false, "print topology statistics to stderr")
+	flag.Parse()
+
+	cfg := topology.IrregularConfig{Hosts: *hosts, Switches: *switches, Ports: *ports}
+	net := topology.Irregular(cfg, workload.NewRNG(*seed))
+
+	switch *format {
+	case "json":
+		data, err := json.MarshalIndent(net, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "topogen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(data))
+	case "dot":
+		fmt.Print(net.DOT())
+	default:
+		fmt.Fprintf(os.Stderr, "topogen: unknown format %q\n", *format)
+		os.Exit(1)
+	}
+
+	if *stats {
+		r := routing.NewUpDown(net)
+		maxLevel := 0
+		for s := 0; s < net.NumSwitches(); s++ {
+			if l := r.Level(s); l > maxLevel {
+				maxLevel = l
+			}
+		}
+		fmt.Fprintf(os.Stderr, "topology: %s\n", net.Summary())
+		fmt.Fprintf(os.Stderr, "up*/down* root: switch %d, tree depth %d\n", r.Root(), maxLevel)
+	}
+}

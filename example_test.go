@@ -1,0 +1,63 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// ExampleOptimalK reproduces the paper's Fig. 5 decision: for a 3-packet
+// message to 3 destinations, the linear chain (k = 1) beats the binomial
+// tree.
+func ExampleOptimalK() {
+	k, steps := repro.OptimalK(4, 3)
+	fmt.Printf("k=%d steps=%d\n", k, steps)
+	// Output: k=1 steps=5
+}
+
+// ExampleCoverage evaluates Lemma 1: a 3-binomial tree covers 15 nodes in
+// 4 steps and 28 in 5.
+func ExampleCoverage() {
+	fmt.Println(repro.Coverage(4, 3), repro.Coverage(5, 3))
+	// Output: 15 28
+}
+
+// ExampleNewIrregularSystem plans an optimal multicast on the paper's
+// 64-host irregular testbed and reports the selected fanout bound.
+func ExampleNewIrregularSystem() {
+	sys := repro.NewIrregularSystem(repro.DefaultIrregularConfig(), 1)
+	plan := sys.Plan(repro.Spec{
+		Source:  0,
+		Dests:   []int{8, 16, 24, 32, 40, 48, 56, 1, 9, 17, 25, 33, 41, 49, 57},
+		Packets: 8,
+		Policy:  repro.OptimalTree,
+	})
+	fmt.Printf("n=16 m=8: k=%d, model bound %d steps\n", plan.K, plan.ModelSteps)
+	// Output: n=16 m=8: k=2, model bound 19 steps
+}
+
+// ExampleModelLatency evaluates the closed-form pipelined latency model
+// with the paper's technology constants and a 5.4 us step.
+func ExampleModelLatency() {
+	c := repro.Costs{THostSend: 12.5, THostRecv: 12.5, TStep: 5.4}
+	lat, k := repro.ModelLatency(64, 8, c)
+	fmt.Printf("k=%d latency=%.1fus\n", k, lat)
+	// Output: k=2 latency=143.8us
+}
+
+// ExampleNewGroup broadcasts real bytes through a rank-addressed group:
+// the message is packetized into 64-byte wire packets, priced by the
+// event simulator, and reassembled at every rank.
+func ExampleNewGroup() {
+	sys := repro.NewIrregularSystem(repro.DefaultIrregularConfig(), 1)
+	group, err := repro.NewGroup(sys, []int{0, 8, 16, 24, 32, 40, 48, 56})
+	if err != nil {
+		panic(err)
+	}
+	res, err := group.Bcast(0, []byte("hello, collective world"), repro.DefaultParams())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d packets, rank 5 got %q\n", res.Packets, res.Data[5])
+	// Output: 1 packets, rank 5 got "hello, collective world"
+}

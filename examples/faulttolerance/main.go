@@ -1,0 +1,55 @@
+// faulttolerance demonstrates recovery from link failures: switch-switch
+// links fail one after another, routing tables and the CCO ordering are
+// rebuilt on the degraded network, and the same optimal multicast keeps
+// completing — at slowly increasing latency as the network loses path
+// diversity.
+//
+//	go run ./examples/faulttolerance
+package main
+
+import (
+	"fmt"
+
+	"repro"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+func main() {
+	sys := repro.NewIrregularSystem(repro.DefaultIrregularConfig(), 31)
+	params := repro.DefaultParams()
+	rng := workload.NewRNG(17)
+
+	set := workload.DestSet(rng, 64, 31)
+	spec := repro.Spec{Source: set[0], Dests: set[1:], Packets: 8, Policy: repro.OptimalTree}
+
+	fmt.Printf("machine: %s\n", sys.Net.Summary())
+	fmt.Printf("workload: %d destinations, %d packets, optimal k-binomial tree\n\n",
+		len(spec.Dests), spec.Packets)
+	fmt.Printf("%-10s %-28s %10s %12s\n", "failures", "failed link", "latency", "chan wait")
+
+	report := func(failures int, desc string) {
+		res := sys.Simulate(sys.Plan(spec), params, repro.FPFS)
+		fmt.Printf("%-10d %-28s %8.1fus %10.1fus\n", failures, desc, res.Latency, res.ChannelWait)
+	}
+	report(0, "(healthy)")
+
+	failures := 0
+	for attempt := 0; attempt < 100 && failures < 6; attempt++ {
+		links := sys.Net.Links()
+		l := links[rng.Intn(len(links))]
+		if l.A.Kind != topology.SwitchNode || l.B.Kind != topology.SwitchNode {
+			continue
+		}
+		if !sys.Net.WithoutLink(l.ID).Connected() {
+			fmt.Printf("%-10s %-28s %10s %12s\n", "-", fmt.Sprintf("%v-%v would partition", l.A, l.B), "skipped", "")
+			continue
+		}
+		sys = sys.WithoutLink(l.ID)
+		failures++
+		report(failures, fmt.Sprintf("%v-%v", l.A, l.B))
+	}
+	fmt.Println("\nafter each failure the up*/down* spanning tree and the CCO base ordering")
+	fmt.Println("are recomputed; the multicast plan adapts and every destination is still")
+	fmt.Println("reached over deadlock-free routes.")
+}

@@ -1,0 +1,71 @@
+// multimcast demonstrates multiple concurrent multicasts sharing the
+// network: several sources multicast simultaneously, contending for NIs
+// and channels, and the per-session latency degrades gracefully — with
+// the k-binomial advantage intact under load.
+//
+//	go run ./examples/multimcast
+package main
+
+import (
+	"fmt"
+
+	"repro"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	sys := repro.NewIrregularSystem(repro.DefaultIrregularConfig(), 99)
+	params := repro.DefaultParams()
+	fmt.Printf("machine: %s\n", sys.Net.Summary())
+	fmt.Println("workload: concurrent 15-destination multicasts, 4 packets each")
+	fmt.Println()
+
+	tb := stats.NewTable("Per-session multicast latency under concurrency (us, mean of 10 draws)",
+		"concurrent", "binomial mean", "k-binomial mean", "speedup", "k-bin worst session")
+
+	for _, count := range []int{1, 2, 4, 8, 16} {
+		var bin, kbin, worst stats.Summary
+		rng := workload.NewRNG(uint64(1000 + count))
+		for draw := 0; draw < 10; draw++ {
+			specs := make([]repro.Spec, count)
+			used := map[int]bool{}
+			for i := range specs {
+				var set []int
+				for {
+					set = workload.DestSet(rng, 64, 15)
+					if !used[set[0]] {
+						break
+					}
+				}
+				used[set[0]] = true
+				specs[i] = repro.Spec{Source: set[0], Dests: set[1:], Packets: 4}
+			}
+			for _, policy := range []repro.TreePolicy{repro.BinomialTree, repro.OptimalTree} {
+				sessions := make([]repro.Session, count)
+				for i, spec := range specs {
+					spec.Policy = policy
+					sessions[i] = repro.Session{Tree: sys.Plan(spec).Tree, Packets: spec.Packets}
+				}
+				res := repro.Concurrent(sys, sessions, params, repro.FPFS)
+				mean := 0.0
+				for _, s := range res.Sessions {
+					mean += s.Latency
+				}
+				mean /= float64(count)
+				if policy == repro.BinomialTree {
+					bin.Add(mean)
+				} else {
+					kbin.Add(mean)
+					worst.Add(res.MaxLatency())
+				}
+			}
+		}
+		tb.AddFloats(fmt.Sprintf("%d", count), 1,
+			bin.Mean(), kbin.Mean(), bin.Mean()/kbin.Mean(), worst.Mean())
+	}
+	fmt.Print(tb.String())
+	fmt.Println("\nper-session cost rises with concurrency (shared NIs and links), and the")
+	fmt.Println("k-binomial tree keeps its edge — fewer injections per packet also means")
+	fmt.Println("less pressure on shared resources.")
+}

@@ -1,0 +1,70 @@
+// nicompare reproduces the network-interface design study of Sections 2-3:
+// conventional host-level forwarding vs the two smart-NI disciplines (FCFS
+// and FPFS), in both latency and NI buffer demand.
+//
+//	go run ./examples/nicompare
+package main
+
+import (
+	"fmt"
+
+	"repro"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	sys := repro.NewIrregularSystem(repro.DefaultIrregularConfig(), 7)
+	params := repro.DefaultParams()
+	rng := workload.NewRNG(3)
+
+	fmt.Printf("machine: %s\n", sys.Net.Summary())
+	fmt.Println("workload: 31 destinations, optimal k-binomial tree, 20 random sets per row")
+	fmt.Println()
+
+	lat := stats.NewTable("Multicast latency by NI support (us)",
+		"m", "conventional", "smart FCFS", "smart FPFS", "conv/FPFS")
+	buf := stats.NewTable("Peak packets buffered at the busiest intermediate NI",
+		"m", "smart FCFS", "smart FPFS")
+
+	for _, m := range []int{1, 2, 4, 8, 16} {
+		var conv, fcfs, fpfs stats.Summary
+		var bFC, bFP stats.Summary
+		for trial := 0; trial < 20; trial++ {
+			set := workload.DestSet(rng, 64, 31)
+			spec := repro.Spec{Source: set[0], Dests: set[1:], Packets: m, Policy: repro.OptimalTree}
+			plan := sys.Plan(spec)
+			src := plan.Tree.Root()
+
+			peak := func(r *repro.Result) float64 {
+				p := 0
+				for v, b := range r.MaxBuffered {
+					if v != src && b > p {
+						p = b
+					}
+				}
+				return float64(p)
+			}
+
+			rConv := sys.Simulate(plan, params, repro.Conventional)
+			rFC := sys.Simulate(plan, params, repro.FCFS)
+			rFP := sys.Simulate(plan, params, repro.FPFS)
+			conv.Add(rConv.Latency)
+			fcfs.Add(rFC.Latency)
+			fpfs.Add(rFP.Latency)
+			bFC.Add(peak(rFC))
+			bFP.Add(peak(rFP))
+		}
+		lat.AddFloats(fmt.Sprintf("%d", m), 1,
+			conv.Mean(), fcfs.Mean(), fpfs.Mean(), conv.Mean()/fpfs.Mean())
+		buf.AddFloats(fmt.Sprintf("%d", m), 2, bFC.Mean(), bFP.Mean())
+	}
+
+	fmt.Print(lat.String())
+	fmt.Println()
+	fmt.Print(buf.String())
+	fmt.Println("\npaper Section 3.3: on the balanced optimal trees FPFS is at least as fast as")
+	fmt.Println("FCFS, and it buffers only in-flight packets where FCFS must hold the whole")
+	fmt.Println("message — which is why the optimal-tree theory targets FPFS. (On skewed")
+	fmt.Println("binomial trees FCFS can tie in latency, but still at m-times the buffer cost.)")
+}

@@ -1,0 +1,50 @@
+// Quickstart: plan and simulate one optimal multicast on the paper's
+// irregular 64-host testbed, and compare it with the binomial baseline.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	// A random-but-reproducible machine: 64 hosts on 16 eight-port
+	// switches, up*/down* routing, CCO node ordering.
+	sys := repro.NewIrregularSystem(repro.DefaultIrregularConfig(), 42)
+	fmt.Printf("machine: %s\n\n", sys.Net.Summary())
+
+	// Multicast a 512-byte message (8 x 64-byte packets) from host 0 to
+	// ten destinations.
+	spec := repro.Spec{
+		Source:  0,
+		Dests:   []int{3, 7, 12, 19, 25, 33, 40, 48, 55, 62},
+		Packets: 8,
+		Policy:  repro.OptimalTree,
+	}
+
+	plan := sys.Plan(spec)
+	fmt.Printf("optimal plan: k=%d fanout bound, tree depth %d, %d model steps\n",
+		plan.K, plan.Tree.Depth(), plan.ModelSteps)
+
+	params := repro.DefaultParams()
+	opt := sys.Simulate(plan, params, repro.FPFS)
+	fmt.Printf("k-binomial latency: %8.1f us\n", opt.Latency)
+
+	// The conventional wisdom baseline: a binomial tree.
+	spec.Policy = repro.BinomialTree
+	bin := sys.Simulate(sys.Plan(spec), params, repro.FPFS)
+	fmt.Printf("binomial latency:   %8.1f us\n", bin.Latency)
+	fmt.Printf("speedup:            %8.2fx\n\n", bin.Latency/opt.Latency)
+
+	// The closed-form model agrees on the winner.
+	costs := repro.Costs{
+		THostSend: params.THostSend,
+		THostRecv: params.THostRecv,
+		TStep:     params.StepTime(2),
+	}
+	model, k := repro.ModelLatency(len(spec.Dests)+1, spec.Packets, costs)
+	fmt.Printf("model: optimal k=%d, predicted latency %.1f us\n", k, model)
+}

@@ -1,0 +1,183 @@
+// Package analytic provides the paper's closed-form latency and buffer
+// models. These are the formulas the evaluation section reasons with; the
+// event simulator (package sim) provides the measured counterpart.
+//
+// Time unit is the microsecond throughout, matching package sim.
+package analytic
+
+import (
+	"fmt"
+
+	"repro/internal/ktree"
+)
+
+// Costs is the reduced parameter set the closed forms need. TStep is the
+// paper's t_step: the NI-to-NI cost of one uncontended packet transmission
+// (sim.Params.StepTime for a representative hop count).
+type Costs struct {
+	THostSend float64 // t_s
+	THostRecv float64 // t_r
+	TStep     float64 // t_step
+}
+
+// Validate reports the first invalid field.
+func (c Costs) Validate() error {
+	if c.THostSend < 0 || c.THostRecv < 0 || c.TStep <= 0 {
+		return fmt.Errorf("analytic: invalid costs %+v", c)
+	}
+	return nil
+}
+
+// SmartSinglePacket returns the Section 2.5 latency of a single-packet
+// binomial multicast over the smart network interface:
+//
+//	t_s + ceil(log2 n) * t_step + t_r
+//
+// n is the multicast set size including the source (n >= 2).
+func SmartSinglePacket(n int, c Costs) float64 {
+	mustN(n)
+	return c.THostSend + float64(ktree.CeilLog2(n))*c.TStep + c.THostRecv
+}
+
+// ConventionalSinglePacket returns the Section 2.5 latency of a
+// single-packet binomial multicast over the conventional network
+// interface, where every tree level pays the host software overheads:
+//
+//	ceil(log2 n) * (t_s + t_step + t_r)
+func ConventionalSinglePacket(n int, c Costs) float64 {
+	mustN(n)
+	return float64(ktree.CeilLog2(n)) * (c.THostSend + c.TStep + c.THostRecv)
+}
+
+// SmartKBinomial returns the pipelined FPFS latency model of Theorem 2 for
+// an m-packet multicast over the k-binomial tree:
+//
+//	t_s + (t1(n,k) + (m-1)*k) * t_step + t_r
+func SmartKBinomial(n, m, k int, c Costs) float64 {
+	mustN(n)
+	return c.THostSend + float64(ktree.Steps(n, m, k))*c.TStep + c.THostRecv
+}
+
+// SmartOptimal returns the latency model evaluated at the optimal k
+// (Theorem 3), along with the chosen k.
+func SmartOptimal(n, m int, c Costs) (latency float64, k int) {
+	mustN(n)
+	k, steps := ktree.OptimalK(n, m)
+	return c.THostSend + float64(steps)*c.TStep + c.THostRecv, k
+}
+
+// SmartBinomial returns the pipelined FPFS latency model for the
+// conventional binomial tree (k = ceil(log2 n)), the paper's baseline:
+//
+//	t_s + (ceil(log2 n) + (m-1)*ceil(log2 n)) * t_step + t_r
+//	  = t_s + m * ceil(log2 n) * t_step + t_r
+func SmartBinomial(n, m int, c Costs) float64 {
+	mustN(n)
+	k := ktree.CeilLog2(n)
+	return SmartKBinomial(n, m, k, c)
+}
+
+// SmartLinear returns the pipelined FPFS latency model for the linear
+// chain (k = 1): t_s + (n-1 + (m-1)) * t_step + t_r.
+func SmartLinear(n, m int, c Costs) float64 {
+	mustN(n)
+	return SmartKBinomial(n, m, 1, c)
+}
+
+// ConventionalMultiPacket extends the conventional model to m packets: an
+// intermediate host must collect all m packets, pay t_r, then pay t_s per
+// forwarded copy; each level therefore costs t_s + m*t_step + t_r:
+//
+//	ceil(log2 n) * (t_s + m*t_step + t_r)
+func ConventionalMultiPacket(n, m int, c Costs) float64 {
+	mustN(n)
+	mustM(m)
+	return float64(ktree.CeilLog2(n)) * (c.THostSend + float64(m)*c.TStep + c.THostRecv)
+}
+
+// BufferResidencyFCFS returns the Section 3.3.2 residency of one packet at
+// an intermediate node's network interface under FCFS, in units of t_sq
+// (the time to move one packet copy from the NI queue to the network): a
+// packet arriving at a node with c children waits while (m-j+1) remaining
+// packets go to child 1, all m packets go to each of children 2..c-1, and
+// packets 1..j go to child c — a total of (c-1)*m + 1 injections whichever
+// packet j is considered.
+func BufferResidencyFCFS(c, m int) int {
+	mustChildren(c)
+	mustM(m)
+	if c == 1 {
+		// Single child: packet j leaves after its own injection.
+		return 1
+	}
+	return (c-1)*m + 1
+}
+
+// BufferResidencyFPFS returns the FPFS residency in t_sq units: a packet
+// is held only while its own c copies are injected.
+func BufferResidencyFPFS(c int) int {
+	mustChildren(c)
+	return c
+}
+
+// PeakBufferPacketsFCFS returns how many packets of one message FCFS must
+// hold simultaneously at an intermediate node in the zero-inter-arrival-
+// delay best case: the whole message (it cannot discard any packet until
+// the last child has started receiving early packets).
+func PeakBufferPacketsFCFS(m int) int {
+	mustM(m)
+	return m
+}
+
+// PeakBufferPacketsFPFS bounds the simultaneous packets FPFS holds: with
+// inter-arrival time >= c*t_sq a single packet; in general at most
+// ceil(c*t_sq / interArrival) + 1. With the best-case zero delay
+// assumption used in the paper the bound is min(m, c+1) — new packets
+// can arrive at most as fast as copies drain.
+func PeakBufferPacketsFPFS(c, m int) int {
+	mustChildren(c)
+	mustM(m)
+	if m < c+1 {
+		return m
+	}
+	return c + 1
+}
+
+// CrossoverPackets returns the smallest m for which the linear chain's
+// model latency beats the binomial tree's for multicast set size n — the
+// crossover the paper discusses in Section 5.1. The result is independent
+// of Costs because both models share t_s, t_r and scale with t_step.
+func CrossoverPackets(n int) int {
+	mustN(n)
+	for m := 1; ; m++ {
+		lin := ktree.Steps(n, m, 1)
+		bin := ktree.Steps(n, m, ktree.CeilLog2(n))
+		if lin < bin {
+			return m
+		}
+	}
+}
+
+// Speedup returns the model-level latency ratio binomial/optimal-k for an
+// m-packet multicast to n nodes — the paper's headline "up to 2x" metric.
+func Speedup(n, m int, c Costs) float64 {
+	opt, _ := SmartOptimal(n, m, c)
+	return SmartBinomial(n, m, c) / opt
+}
+
+func mustN(n int) {
+	if n < 2 {
+		panic(fmt.Sprintf("analytic: multicast set size %d < 2", n))
+	}
+}
+
+func mustM(m int) {
+	if m < 1 {
+		panic(fmt.Sprintf("analytic: packet count %d < 1", m))
+	}
+}
+
+func mustChildren(c int) {
+	if c < 1 {
+		panic(fmt.Sprintf("analytic: child count %d < 1", c))
+	}
+}

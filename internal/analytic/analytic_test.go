@@ -1,0 +1,227 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ktree"
+)
+
+var paperCosts = Costs{THostSend: 12.5, THostRecv: 12.5, TStep: 5.4}
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestCostsValidate(t *testing.T) {
+	if err := paperCosts.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []Costs{
+		{THostSend: -1, TStep: 1},
+		{TStep: 0},
+		{THostRecv: -2, TStep: 1},
+	} {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate accepted %+v", c)
+		}
+	}
+}
+
+func TestFig4SinglePacketComparison(t *testing.T) {
+	// Paper Fig. 4 with 3 destinations (n = 4):
+	// conventional = 2*(t_s + t_step + t_r), smart = t_s + 2*t_step + t_r.
+	conv := ConventionalSinglePacket(4, paperCosts)
+	smart := SmartSinglePacket(4, paperCosts)
+	if !approx(conv, 2*(12.5+5.4+12.5)) {
+		t.Errorf("conventional = %f", conv)
+	}
+	if !approx(smart, 12.5+2*5.4+12.5) {
+		t.Errorf("smart = %f", smart)
+	}
+	if smart >= conv {
+		t.Error("smart not faster than conventional")
+	}
+}
+
+func TestSmartAdvantageGrowsWithN(t *testing.T) {
+	prev := -1.0
+	for n := 2; n <= 64; n *= 2 {
+		gap := ConventionalSinglePacket(n, paperCosts) - SmartSinglePacket(n, paperCosts)
+		if gap <= prev {
+			t.Errorf("n=%d: advantage %f did not grow (prev %f)", n, gap, prev)
+		}
+		prev = gap
+	}
+}
+
+func TestSmartKBinomialMatchesStepFormula(t *testing.T) {
+	for _, n := range []int{4, 16, 33, 64} {
+		for _, m := range []int{1, 3, 8} {
+			for k := 1; k <= ktree.CeilLog2(n); k++ {
+				got := SmartKBinomial(n, m, k, paperCosts)
+				want := 12.5 + float64(ktree.Steps(n, m, k))*5.4 + 12.5
+				if !approx(got, want) {
+					t.Errorf("SmartKBinomial(%d,%d,%d) = %f, want %f", n, m, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestFig5ModelLatencies(t *testing.T) {
+	// Paper Section 2.6: binomial = t_s + 6 t_step + t_r, linear =
+	// t_s + 5 t_step + t_r for n=4, m=3.
+	bin := SmartBinomial(4, 3, paperCosts)
+	lin := SmartLinear(4, 3, paperCosts)
+	if !approx(bin, 12.5+6*5.4+12.5) {
+		t.Errorf("binomial = %f", bin)
+	}
+	if !approx(lin, 12.5+5*5.4+12.5) {
+		t.Errorf("linear = %f", lin)
+	}
+	if lin >= bin {
+		t.Error("linear tree should win this configuration")
+	}
+}
+
+func TestSmartOptimalNeverWorse(t *testing.T) {
+	for n := 2; n <= 64; n++ {
+		for m := 1; m <= 32; m++ {
+			opt, k := SmartOptimal(n, m, paperCosts)
+			if k < 1 || k > ktree.CeilLog2(n) {
+				t.Fatalf("k=%d out of range", k)
+			}
+			if opt > SmartBinomial(n, m, paperCosts)+1e-9 {
+				t.Errorf("n=%d m=%d: optimal %f worse than binomial", n, m, opt)
+			}
+			if opt > SmartLinear(n, m, paperCosts)+1e-9 {
+				t.Errorf("n=%d m=%d: optimal %f worse than linear", n, m, opt)
+			}
+		}
+	}
+}
+
+func TestSpeedupHeadline(t *testing.T) {
+	// The paper reports the k-binomial tree is up to ~2x better than the
+	// binomial tree for 64-node systems across its m range.
+	best := 0.0
+	for _, n := range []int{16, 32, 48, 64} {
+		for m := 1; m <= 32; m++ {
+			if s := Speedup(n, m, paperCosts); s > best {
+				best = s
+			}
+		}
+	}
+	if best < 1.7 || best > 3.0 {
+		t.Errorf("peak model speedup = %f, want within [1.7, 3.0] (paper: up to 2x)", best)
+	}
+	// Speedup grows with m (paper Fig. 14): compare m=2 vs m=16 at n=48.
+	if Speedup(48, 16, paperCosts) <= Speedup(48, 2, paperCosts) {
+		t.Error("speedup did not grow with packet count")
+	}
+}
+
+func TestSpeedupAtLeastOne(t *testing.T) {
+	for n := 2; n <= 70; n++ {
+		for m := 1; m <= 40; m++ {
+			if s := Speedup(n, m, paperCosts); s < 1-1e-9 {
+				t.Errorf("speedup(%d,%d) = %f < 1", n, m, s)
+			}
+		}
+	}
+}
+
+func TestConventionalMultiPacket(t *testing.T) {
+	// m=1 must agree with the single-packet form.
+	for n := 2; n <= 64; n++ {
+		if !approx(ConventionalMultiPacket(n, 1, paperCosts), ConventionalSinglePacket(n, paperCosts)) {
+			t.Errorf("n=%d: m=1 disagrees with single-packet formula", n)
+		}
+	}
+	// Monotone in m.
+	if ConventionalMultiPacket(16, 4, paperCosts) <= ConventionalMultiPacket(16, 2, paperCosts) {
+		t.Error("conventional latency not monotone in m")
+	}
+}
+
+func TestBufferResidency(t *testing.T) {
+	// Section 3.3.2: T_c = ((c-1)m + 1) t_sq, T_p = c t_sq.
+	for c := 2; c <= 8; c++ {
+		for m := 1; m <= 32; m++ {
+			fc := BufferResidencyFCFS(c, m)
+			fp := BufferResidencyFPFS(c)
+			if fc != (c-1)*m+1 {
+				t.Errorf("FCFS(%d,%d) = %d", c, m, fc)
+			}
+			if fp != c {
+				t.Errorf("FPFS(%d) = %d", c, fp)
+			}
+			if fp > fc {
+				t.Errorf("c=%d m=%d: FPFS residency %d exceeds FCFS %d", c, m, fp, fc)
+			}
+		}
+	}
+	// c = 1: both disciplines inject once per packet.
+	if BufferResidencyFCFS(1, 9) != 1 || BufferResidencyFPFS(1) != 1 {
+		t.Error("single-child residency should be 1 for both")
+	}
+}
+
+func TestPeakBufferPackets(t *testing.T) {
+	if PeakBufferPacketsFCFS(8) != 8 {
+		t.Error("FCFS must hold the whole message")
+	}
+	if PeakBufferPacketsFPFS(3, 32) != 4 {
+		t.Errorf("FPFS peak = %d, want c+1 = 4", PeakBufferPacketsFPFS(3, 32))
+	}
+	if PeakBufferPacketsFPFS(5, 2) != 2 {
+		t.Error("FPFS peak bounded by m")
+	}
+}
+
+func TestCrossoverPackets(t *testing.T) {
+	// Fig. 5 shows linear beats binomial for n=4, m=3; the crossover for
+	// n=4 must therefore be <= 3. Crossovers grow with n.
+	if c := CrossoverPackets(4); c > 3 {
+		t.Errorf("CrossoverPackets(4) = %d, want <= 3", c)
+	}
+	prev := 0
+	for _, n := range []int{4, 8, 16, 32, 64} {
+		c := CrossoverPackets(n)
+		if c < prev {
+			t.Errorf("crossover not monotone at n=%d: %d < %d", n, c, prev)
+		}
+		prev = c
+	}
+	// After the crossover the linear model stays ahead.
+	n := 16
+	c := CrossoverPackets(n)
+	for m := c; m < c+10; m++ {
+		if SmartLinear(n, m, paperCosts) >= SmartBinomial(n, m, paperCosts) {
+			t.Errorf("m=%d: linear not ahead after crossover", m)
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { SmartSinglePacket(1, paperCosts) },
+		func() { ConventionalSinglePacket(0, paperCosts) },
+		func() { SmartKBinomial(1, 1, 1, paperCosts) },
+		func() { ConventionalMultiPacket(4, 0, paperCosts) },
+		func() { BufferResidencyFCFS(0, 4) },
+		func() { BufferResidencyFCFS(2, 0) },
+		func() { BufferResidencyFPFS(0) },
+		func() { PeakBufferPacketsFCFS(0) },
+		func() { PeakBufferPacketsFPFS(0, 1) },
+		func() { CrossoverPackets(1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

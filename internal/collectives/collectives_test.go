@@ -1,0 +1,237 @@
+package collectives
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+func sys(seed uint64) *core.System {
+	return core.NewIrregularSystem(topology.DefaultIrregular(), seed)
+}
+
+func spec(dests []int, m int, policy core.TreePolicy) core.Spec {
+	return core.Spec{Source: dests[0], Dests: dests[1:], Packets: m, Policy: policy}
+}
+
+func randSet(seed uint64, count int) []int {
+	return workload.DestSet(workload.NewRNG(seed), 64, count)
+}
+
+func TestBroadcastReachesEveryone(t *testing.T) {
+	s := sys(1)
+	res := Broadcast(s, 5, 4, core.OptimalTree, sim.DefaultParams())
+	if res.Latency <= 0 {
+		t.Fatal("broadcast failed")
+	}
+	if res.Sends != 63*4 {
+		t.Errorf("broadcast sends = %d, want 252", res.Sends)
+	}
+}
+
+func TestBroadcastOptimalBeatsBinomialForLongMessages(t *testing.T) {
+	s := sys(2)
+	p := sim.DefaultParams()
+	bin := Broadcast(s, 0, 16, core.BinomialTree, p)
+	opt := Broadcast(s, 0, 16, core.OptimalTree, p)
+	if opt.Latency >= bin.Latency {
+		t.Errorf("optimal broadcast %f >= binomial %f", opt.Latency, bin.Latency)
+	}
+	if opt.K >= bin.K {
+		t.Errorf("optimal k %d >= binomial k %d", opt.K, bin.K)
+	}
+}
+
+func TestScatterCompletesWithRightVolume(t *testing.T) {
+	s := sys(3)
+	set := randSet(7, 15)
+	res := Scatter(s, spec(set, 4, core.OptimalTree), sim.DefaultParams())
+	if res.Latency <= 0 {
+		t.Fatal("scatter failed")
+	}
+	// Each destination's message traverses its tree path: total sends =
+	// sum over dests of pathlen * m >= (n-1)*m.
+	if res.Sends < 15*4 {
+		t.Errorf("scatter sends = %d, want >= 60", res.Sends)
+	}
+}
+
+func TestScatterSlowerThanMulticastSameVolumePerDest(t *testing.T) {
+	// Scatter pushes n distinct messages through the source NI, so it must
+	// be slower than a single multicast of one such message.
+	s := sys(4)
+	set := randSet(9, 15)
+	p := sim.DefaultParams()
+	sc := Scatter(s, spec(set, 4, core.OptimalTree), p)
+	mc := Multicast(s, spec(set, 4, core.OptimalTree), p)
+	if sc.Latency <= mc.Latency {
+		t.Errorf("scatter %f not slower than multicast %f", sc.Latency, mc.Latency)
+	}
+}
+
+func TestScatterSourceBoundDominates(t *testing.T) {
+	// The source must inject at least dests*m packets serially: latency >=
+	// t_s + dests*m*t_ns.
+	s := sys(5)
+	set := randSet(11, 31)
+	p := sim.DefaultParams()
+	res := Scatter(s, spec(set, 2, core.OptimalTree), p)
+	bound := p.THostSend + float64(31*2)*p.TNISend
+	if res.Latency < bound {
+		t.Errorf("scatter latency %f below source injection bound %f", res.Latency, bound)
+	}
+}
+
+func TestGatherMirrorsScatterVolume(t *testing.T) {
+	s := sys(6)
+	set := randSet(13, 15)
+	p := sim.DefaultParams()
+	sc := Scatter(s, spec(set, 3, core.OptimalTree), p)
+	ga := Gather(s, spec(set, 3, core.OptimalTree), p)
+	if ga.Sends != sc.Sends {
+		t.Errorf("gather sends %d != scatter sends %d", ga.Sends, sc.Sends)
+	}
+	if ga.Latency <= 0 {
+		t.Fatal("gather failed")
+	}
+}
+
+func TestReduceCompletes(t *testing.T) {
+	s := sys(7)
+	set := randSet(15, 15)
+	res := Reduce(s, spec(set, 4, core.OptimalTree), ReduceParams{Sim: sim.DefaultParams()})
+	if res.Latency <= 0 {
+		t.Fatal("reduce failed")
+	}
+	if res.Sends != 15*4 {
+		t.Errorf("reduce sends = %d, want 60", res.Sends)
+	}
+}
+
+func TestReducePipelineMonotoneInM(t *testing.T) {
+	s := sys(8)
+	set := randSet(17, 15)
+	prev := 0.0
+	for _, m := range []int{1, 2, 4, 8} {
+		res := Reduce(s, spec(set, m, core.OptimalTree), ReduceParams{Sim: sim.DefaultParams()})
+		if res.Latency <= prev {
+			t.Errorf("m=%d: reduce latency %f not increasing", m, res.Latency)
+		}
+		prev = res.Latency
+	}
+}
+
+func TestReduceKBinomialBeatsBinomialForLongMessages(t *testing.T) {
+	// Extension result: the pipelined reduction has the same fanout
+	// bottleneck structure as FPFS multicast (a node must receive m
+	// packets from each of its c children), so the k-binomial tree should
+	// win for long messages here too.
+	s := sys(9)
+	set := randSet(19, 47)
+	rp := ReduceParams{Sim: sim.DefaultParams()}
+	bin := Reduce(s, spec(set, 16, core.BinomialTree), rp)
+	opt := Reduce(s, spec(set, 16, core.OptimalTree), rp)
+	if opt.Latency >= bin.Latency {
+		t.Errorf("k-binomial reduce %f >= binomial reduce %f", opt.Latency, bin.Latency)
+	}
+}
+
+func TestReduceCombineCostAddsLatency(t *testing.T) {
+	s := sys(10)
+	set := randSet(21, 15)
+	free := Reduce(s, spec(set, 4, core.OptimalTree), ReduceParams{Sim: sim.DefaultParams()})
+	costly := Reduce(s, spec(set, 4, core.OptimalTree), ReduceParams{Sim: sim.DefaultParams(), TCombine: 5})
+	if costly.Latency <= free.Latency {
+		t.Errorf("combine cost did not add latency: %f vs %f", costly.Latency, free.Latency)
+	}
+}
+
+func TestBarrierCostsReducePlusBroadcast(t *testing.T) {
+	s := sys(11)
+	set := randSet(23, 15)
+	p := sim.DefaultParams()
+	one := spec(set, 1, core.OptimalTree)
+	up := Reduce(s, one, ReduceParams{Sim: p})
+	down := Multicast(s, one, p)
+	bar := Barrier(s, spec(set, 9, core.OptimalTree), p) // packets ignored
+	if got, want := bar.Latency, up.Latency+down.Latency; got != want {
+		t.Errorf("barrier latency %f, want %f", got, want)
+	}
+	if bar.Sends != up.Sends+down.Sends {
+		t.Errorf("barrier sends %d, want %d", bar.Sends, up.Sends+down.Sends)
+	}
+}
+
+func TestReduceDeterministic(t *testing.T) {
+	s := sys(12)
+	set := randSet(25, 31)
+	rp := ReduceParams{Sim: sim.DefaultParams()}
+	a := Reduce(s, spec(set, 6, core.OptimalTree), rp)
+	b := Reduce(s, spec(set, 6, core.OptimalTree), rp)
+	if a.Latency != b.Latency {
+		t.Error("reduce not deterministic")
+	}
+}
+
+func TestReducePanics(t *testing.T) {
+	s := sys(13)
+	set := randSet(27, 7)
+	for i, f := range []func(){
+		func() {
+			Reduce(s, spec(set, 2, core.OptimalTree), ReduceParams{Sim: sim.DefaultParams(), TCombine: -1})
+		},
+		func() {
+			bad := sim.DefaultParams()
+			bad.PacketBytes = 0
+			Reduce(s, spec(set, 2, core.OptimalTree), ReduceParams{Sim: bad})
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPathTreeExtraction(t *testing.T) {
+	s := sys(14)
+	set := randSet(29, 15)
+	plan := s.Plan(spec(set, 1, core.BinomialTree))
+	for _, d := range set[1:] {
+		pt := pathTree(plan.Tree, d)
+		if pt.Root() != set[0] {
+			t.Fatalf("path tree for %d does not start at source", d)
+		}
+		// Walk to the single leaf; it must be d.
+		v := pt.Root()
+		for len(pt.Children(v)) > 0 {
+			v = pt.Children(v)[0]
+		}
+		if v != d {
+			t.Fatalf("path tree for %d ends at %d", d, v)
+		}
+	}
+}
+
+func TestReverseChainTree(t *testing.T) {
+	lin := pathTree(sys(15).Plan(spec(randSet(31, 7), 1, core.LinearTree)).Tree, randSet(31, 7)[7])
+	rev := reverseChainTree(lin)
+	// The reversed tree's root must be the original leaf.
+	v := lin.Root()
+	for len(lin.Children(v)) > 0 {
+		v = lin.Children(v)[0]
+	}
+	if rev.Root() != v {
+		t.Errorf("reversed root %d, want %d", rev.Root(), v)
+	}
+	if rev.Size() != lin.Size() {
+		t.Error("reverse changed size")
+	}
+}

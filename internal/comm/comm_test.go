@@ -1,0 +1,166 @@
+package comm
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+func testSys() *core.System {
+	return core.NewIrregularSystem(topology.DefaultIrregular(), 1)
+}
+
+func TestNewGroupValidation(t *testing.T) {
+	sys := testSys()
+	if _, err := New(sys, []int{0}); err == nil {
+		t.Error("single-host group accepted")
+	}
+	if _, err := New(sys, []int{0, 0}); err == nil {
+		t.Error("duplicate host accepted")
+	}
+	if _, err := New(sys, []int{0, 999}); err == nil {
+		t.Error("out-of-range host accepted")
+	}
+	g, err := New(sys, []int{5, 9, 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != 3 || g.Host(1) != 9 || g.Rank(23) != 2 || g.Rank(7) != -1 {
+		t.Error("group accessors wrong")
+	}
+}
+
+func TestBcastDeliversExactly(t *testing.T) {
+	sys := testSys()
+	g, _ := New(sys, []int{3, 7, 12, 19, 25, 33, 40, 48})
+	data := make([]byte, 999)
+	rand.New(rand.NewSource(5)).Read(data)
+	res, err := g.Bcast(2, data, sim.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Latency <= 0 || res.Packets != (999+43)/44 {
+		t.Errorf("latency=%f packets=%d", res.Latency, res.Packets)
+	}
+	for r := 0; r < g.Size(); r++ {
+		if !bytes.Equal(res.Data[r], data) {
+			t.Errorf("rank %d payload differs", r)
+		}
+	}
+}
+
+func TestBcastEmptyMessage(t *testing.T) {
+	sys := testSys()
+	g, _ := New(sys, []int{0, 1, 2})
+	res, err := g.Bcast(0, nil, sim.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Packets != 1 {
+		t.Errorf("empty message used %d packets, want 1", res.Packets)
+	}
+	for r := 1; r < 3; r++ {
+		if len(res.Data[r]) != 0 {
+			t.Errorf("rank %d got %d bytes for empty message", r, len(res.Data[r]))
+		}
+	}
+}
+
+func TestBcastLongerMessagesCostMore(t *testing.T) {
+	sys := testSys()
+	g, _ := New(sys, []int{0, 9, 18, 27, 36, 45, 54, 63})
+	p := sim.DefaultParams()
+	small, _ := g.Bcast(0, make([]byte, 100), p)
+	large, _ := g.Bcast(0, make([]byte, 2000), p)
+	if large.Latency <= small.Latency {
+		t.Errorf("2000B (%f) not slower than 100B (%f)", large.Latency, small.Latency)
+	}
+	// Longer messages push the optimal k down.
+	if large.K > small.K {
+		t.Errorf("k grew with message length: %d -> %d", small.K, large.K)
+	}
+}
+
+func TestBcastRootValidation(t *testing.T) {
+	g, _ := New(testSys(), []int{0, 1})
+	if _, err := g.Bcast(5, []byte("x"), sim.DefaultParams()); err == nil {
+		t.Error("bad root accepted")
+	}
+}
+
+func TestScatterDeliversChunks(t *testing.T) {
+	sys := testSys()
+	hosts := []int{2, 11, 20, 29, 38}
+	g, _ := New(sys, hosts)
+	chunks := make([][]byte, len(hosts))
+	rng := rand.New(rand.NewSource(7))
+	for i := range chunks {
+		chunks[i] = make([]byte, 50+rng.Intn(400))
+		rng.Read(chunks[i])
+	}
+	res, err := g.Scatter(0, chunks, sim.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Latency <= 0 {
+		t.Error("scatter latency nonpositive")
+	}
+	for i := range chunks {
+		if !bytes.Equal(res.Data[i], chunks[i]) {
+			t.Errorf("rank %d chunk differs", i)
+		}
+	}
+}
+
+func TestScatterValidation(t *testing.T) {
+	g, _ := New(testSys(), []int{0, 1, 2})
+	if _, err := g.Scatter(0, make([][]byte, 2), sim.DefaultParams()); err == nil {
+		t.Error("wrong chunk count accepted")
+	}
+	if _, err := g.Scatter(9, make([][]byte, 3), sim.DefaultParams()); err == nil {
+		t.Error("bad root accepted")
+	}
+}
+
+func TestRandomGroup(t *testing.T) {
+	sys := testSys()
+	g, err := RandomGroup(sys, 16, workload.NewRNG(3))
+	if err != nil || g.Size() != 16 {
+		t.Fatalf("RandomGroup: %v", err)
+	}
+	if _, err := RandomGroup(sys, 1, workload.NewRNG(3)); err == nil {
+		t.Error("size-1 group accepted")
+	}
+	if _, err := RandomGroup(sys, 65, workload.NewRNG(3)); err == nil {
+		t.Error("oversized group accepted")
+	}
+}
+
+func TestHostPanics(t *testing.T) {
+	g, _ := New(testSys(), []int{0, 1})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	g.Host(5)
+}
+
+func TestBcastMsgIDsAdvance(t *testing.T) {
+	// Two broadcasts must use distinct message IDs (reassembly rejects
+	// cross-message mixes; this guards the counter).
+	g, _ := New(testSys(), []int{0, 1, 2})
+	a, _ := g.Bcast(0, []byte("first"), sim.DefaultParams())
+	b, _ := g.Bcast(0, []byte("second"), sim.DefaultParams())
+	if a == nil || b == nil {
+		t.Fatal("broadcast failed")
+	}
+	if g.msgID != 2 {
+		t.Errorf("msgID = %d, want 2", g.msgID)
+	}
+}

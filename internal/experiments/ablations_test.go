@@ -1,0 +1,273 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// tiny returns an even smaller config than Quick for the expensive
+// ablations: shapes still hold, runtime stays test-friendly.
+func tiny() Config {
+	cfg := Quick()
+	cfg.Sweep.Trials = 3
+	cfg.Sweep.Topologies = 2
+	return cfg
+}
+
+func TestAblOrderingShapes(t *testing.T) {
+	res := runAblOrdering(tiny())
+	for _, row := range res.Tables[0].Rows {
+		id, _ := strconv.ParseFloat(row[2], 64)  // identity conflicts
+		cco, _ := strconv.ParseFloat(row[4], 64) // cco conflicts
+		poc, _ := strconv.ParseFloat(row[6], 64) // poc conflicts
+		if cco > id {
+			t.Errorf("m=%s: CCO conflicts %f > identity %f", row[0], cco, id)
+		}
+		if poc > id {
+			t.Errorf("m=%s: POC conflicts %f > identity %f", row[0], poc, id)
+		}
+	}
+}
+
+func TestAblKShapes(t *testing.T) {
+	res := runAblK(tiny())
+	rows := res.Tables[0].Rows
+	// m=1 column: latency non-increasing in k up to the binomial bound
+	// (wider trees reduce depth; single packet has no pipeline penalty).
+	first, _ := strconv.ParseFloat(rows[0][1], 64)
+	last, _ := strconv.ParseFloat(rows[len(rows)-1][1], 64)
+	if last > first {
+		t.Errorf("m=1: k=6 latency %f worse than k=1 %f", last, first)
+	}
+	// m=32 column: k=2 must beat k=6 decisively (the paper's whole point).
+	k2, _ := strconv.ParseFloat(rows[1][3], 64)
+	k6, _ := strconv.ParseFloat(rows[5][3], 64)
+	if k2 >= k6 {
+		t.Errorf("m=32: k=2 latency %f not better than k=6 %f", k2, k6)
+	}
+}
+
+func TestAblNIShapes(t *testing.T) {
+	res := runAblNI(tiny())
+	rows := res.Tables[0].Rows
+	// Speedup grows with t_ns.
+	prev := 0.0
+	for i, row := range rows {
+		sp, _ := strconv.ParseFloat(row[3], 64)
+		if sp < prev-0.05 {
+			t.Errorf("row %d: speedup %f fell (prev %f)", i, sp, prev)
+		}
+		prev = sp
+	}
+	lo, _ := strconv.ParseFloat(rows[0][3], 64)
+	hi, _ := strconv.ParseFloat(rows[len(rows)-1][3], 64)
+	if hi <= lo {
+		t.Errorf("speedup did not grow with t_ns: %f -> %f", lo, hi)
+	}
+}
+
+func TestAblPlanShapes(t *testing.T) {
+	res := runAblPlan(tiny())
+	for _, row := range res.Tables[0].Rows {
+		model, _ := strconv.ParseFloat(row[2], 64)
+		meas, _ := strconv.ParseFloat(row[4], 64)
+		if meas > model+1e-9 {
+			t.Errorf("m=%s: measured-k latency %f worse than model-k %f", row[0], meas, model)
+		}
+	}
+}
+
+func TestCollectivesShapes(t *testing.T) {
+	res := runCollectives(tiny())
+	rows := res.Tables[0].Rows
+	get := func(r, c int) float64 {
+		v, _ := strconv.ParseFloat(rows[r][c], 64)
+		return v
+	}
+	// Every op's latency grows with m — except barrier, which always
+	// synchronizes with single-packet phases regardless of m.
+	for r := range rows {
+		if rows[r][0] == "barrier" {
+			if get(r, 1) != get(r, 2) || get(r, 2) != get(r, 3) {
+				t.Errorf("barrier latency should be independent of m: %v", rows[r][1:])
+			}
+			continue
+		}
+		if !(get(r, 1) < get(r, 2) && get(r, 2) < get(r, 3)) {
+			t.Errorf("%s: latency not increasing in m: %v", rows[r][0], rows[r][1:])
+		}
+	}
+	// Scatter (row 1) is slower than multicast (row 0) at every m.
+	for c := 1; c <= 3; c++ {
+		if get(1, c) <= get(0, c) {
+			t.Errorf("scatter not slower than multicast at col %d", c)
+		}
+	}
+	// Barrier (row 4) costs at least reduce m=1 (row 3 col 1).
+	if get(4, 1) < get(3, 1) {
+		t.Error("barrier cheaper than its reduce phase")
+	}
+}
+
+func TestMultiShapes(t *testing.T) {
+	res := runMulti(tiny())
+	rows := res.Tables[0].Rows
+	// Per-session latency grows (weakly) with concurrency, for both trees.
+	for col := 1; col <= 2; col++ {
+		prev := 0.0
+		for i, row := range rows {
+			v, _ := strconv.ParseFloat(row[col], 64)
+			if v < prev*0.97 {
+				t.Errorf("col %d row %d: per-session latency fell sharply: %f -> %f", col, i, prev, v)
+			}
+			prev = v
+		}
+	}
+	// The k-binomial tree keeps winning under concurrency, and the p95
+	// column is never below the mean.
+	for _, row := range rows {
+		mean, _ := strconv.ParseFloat(row[2], 64)
+		p95, _ := strconv.ParseFloat(row[3], 64)
+		if p95 < mean*0.99 {
+			t.Errorf("sessions=%s: p95 %f below mean %f", row[0], p95, mean)
+		}
+		sp, _ := strconv.ParseFloat(row[4], 64)
+		if sp < 1.0 {
+			t.Errorf("sessions=%s: speedup %f < 1", row[0], sp)
+		}
+	}
+}
+
+func TestAblClusterShapes(t *testing.T) {
+	res := runAblCluster(tiny())
+	for _, row := range res.Tables[0].Rows {
+		spread, _ := strconv.ParseFloat(row[1], 64)
+		clustered, _ := strconv.ParseFloat(row[3], 64)
+		if clustered > spread*1.02 {
+			t.Errorf("dests=%s: clustered latency %f worse than spread %f", row[0], clustered, spread)
+		}
+	}
+}
+
+func TestFlitCheckShapes(t *testing.T) {
+	res := runFlitCheck(tiny())
+	// Agreement table: flit/packet ratio within 20% everywhere.
+	for _, row := range res.Tables[0].Rows {
+		ratio, _ := strconv.ParseFloat(row[4], 64)
+		if ratio < 0.8 || ratio > 1.2 {
+			t.Errorf("dests=%s m=%s: flit/packet ratio %f out of [0.8,1.2]", row[0], row[1], ratio)
+		}
+	}
+	// Headline table: speedup >= 1 and growing with m.
+	rows := res.Tables[1].Rows
+	first, _ := strconv.ParseFloat(rows[0][3], 64)
+	last, _ := strconv.ParseFloat(rows[len(rows)-1][3], 64)
+	if last < first {
+		t.Errorf("flit-level speedup fell with m: %f -> %f", first, last)
+	}
+	if last < 1.3 {
+		t.Errorf("flit-level speedup at m=16 only %f", last)
+	}
+}
+
+func TestAblPortsShapes(t *testing.T) {
+	res := runAblPorts(tiny())
+	rows := res.Tables[0].Rows
+	// Speedup falls (weakly) as ports grow; binomial latency falls.
+	prevSpeedup := 1e9
+	prevBin := 1e9
+	for i, row := range rows {
+		bin, _ := strconv.ParseFloat(row[1], 64)
+		sp, _ := strconv.ParseFloat(row[3], 64)
+		if sp > prevSpeedup+0.05 {
+			t.Errorf("row %d: speedup rose with ports: %f -> %f", i, prevSpeedup, sp)
+		}
+		if bin > prevBin+1e-9 {
+			t.Errorf("row %d: binomial latency rose with ports", i)
+		}
+		prevSpeedup, prevBin = sp, bin
+	}
+	first, _ := strconv.ParseFloat(rows[0][3], 64)
+	last, _ := strconv.ParseFloat(rows[len(rows)-1][3], 64)
+	if last >= first {
+		t.Errorf("speedup did not shrink from 1 to 8 ports: %f -> %f", first, last)
+	}
+}
+
+func TestAblPathShapes(t *testing.T) {
+	res := runAblPath(tiny())
+	for _, row := range res.Tables[0].Rows {
+		dConf, _ := strconv.ParseFloat(row[2], 64)
+		mConf, _ := strconv.ParseFloat(row[4], 64)
+		if mConf > dConf*1.2+1 {
+			t.Errorf("m=%s: multipath conflicts %f much worse than deterministic %f", row[0], mConf, dConf)
+		}
+		dLat, _ := strconv.ParseFloat(row[1], 64)
+		mLat, _ := strconv.ParseFloat(row[3], 64)
+		if mLat > dLat*1.1 {
+			t.Errorf("m=%s: multipath latency %f much worse than deterministic %f", row[0], mLat, dLat)
+		}
+	}
+}
+
+func TestScaleShapes(t *testing.T) {
+	res := runScale(tiny())
+	// Analytic table: optimal k stays small (<= 3) at every size/m cell,
+	// and the k=1 crossover grows with n.
+	prevCross := 0
+	for _, row := range res.Tables[0].Rows {
+		for col := 1; col <= 4; col++ {
+			k, _ := strconv.Atoi(row[col])
+			if k > 3 {
+				t.Errorf("n=%s col %d: optimal k=%d, want <= 3", row[0], col, k)
+			}
+		}
+		cross, _ := strconv.Atoi(row[5])
+		if cross < prevCross {
+			t.Errorf("n=%s: crossover %d below previous %d", row[0], cross, prevCross)
+		}
+		prevCross = cross
+	}
+	// Simulated table: speedup >= 1.5 at every scale and non-decreasing.
+	prev := 0.0
+	for _, row := range res.Tables[1].Rows {
+		sp, _ := strconv.ParseFloat(row[4], 64)
+		if sp < 1.5 {
+			t.Errorf("hosts=%s: speedup %f < 1.5", row[0], sp)
+		}
+		if sp < prev-0.2 {
+			t.Errorf("hosts=%s: speedup fell sharply: %f -> %f", row[0], prev, sp)
+		}
+		prev = sp
+	}
+}
+
+func TestPktSizeShapes(t *testing.T) {
+	res := runPktSize(tiny())
+	rows := res.Tables[0].Rows
+	// m strictly decreases as packets grow; the extremes are both worse
+	// than the best interior point (U-shape).
+	var lats []float64
+	prevM := 1 << 30
+	for _, row := range rows {
+		m, _ := strconv.Atoi(row[2])
+		if m >= prevM {
+			t.Errorf("pkt=%s: m=%d did not decrease", row[0], m)
+		}
+		prevM = m
+		v, _ := strconv.ParseFloat(row[4], 64)
+		lats = append(lats, v)
+	}
+	best := lats[0]
+	for _, v := range lats {
+		if v < best {
+			best = v
+		}
+	}
+	if lats[0] == best && lats[len(lats)-1] == best {
+		t.Error("no packet-size trade-off visible")
+	}
+	if best <= 0 {
+		t.Error("nonpositive latency")
+	}
+}

@@ -1,0 +1,119 @@
+// Package experiments defines one registered, reproducible experiment per
+// figure of the paper's evaluation, shared by the cmd/figures binary, the
+// top-level benchmarks, and EXPERIMENTS.md.
+//
+// Every experiment is deterministic: workloads derive from
+// workload.Sweep's fixed seeds, so two runs of the same experiment produce
+// identical tables.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// Config scales an experiment run.
+type Config struct {
+	// Sweep controls the trials-per-topology methodology. The default
+	// matches the paper: 30 destination sets x 10 topologies.
+	Sweep workload.Sweep
+	// Params are the technology constants (defaults per Section 5.2).
+	Params sim.Params
+}
+
+// Default returns the paper-faithful configuration.
+func Default() Config {
+	return Config{Sweep: workload.DefaultSweep(), Params: sim.DefaultParams()}
+}
+
+// Quick returns a reduced configuration (3 topologies x 5 trials) for
+// tests and benchmark iterations; shapes are preserved, error bars widen.
+func Quick() Config {
+	s := workload.DefaultSweep()
+	s.Trials = 5
+	s.Topologies = 3
+	return Config{Sweep: s, Params: sim.DefaultParams()}
+}
+
+// Result is the output of one experiment.
+type Result struct {
+	ID     string
+	Title  string
+	Tables []*stats.Table
+	Notes  []string
+}
+
+// String renders all tables and notes.
+func (r *Result) String() string {
+	out := fmt.Sprintf("== %s: %s ==\n\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		out += t.String() + "\n"
+	}
+	for _, n := range r.Notes {
+		out += "note: " + n + "\n"
+	}
+	return out
+}
+
+// Experiment is a registered reproduction of one paper artifact.
+type Experiment struct {
+	ID    string // "fig12a", "buffer", ...
+	Title string
+	Run   func(Config) *Result
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("experiments: duplicate id " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// All returns every registered experiment sorted by ID.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID looks an experiment up.
+func ByID(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// systems builds (and memoizes per call) the sweep's irregular systems.
+func systems(cfg Config) []*core.System {
+	out := make([]*core.System, cfg.Sweep.Topologies)
+	for t := range out {
+		out[t] = core.NewIrregularSystem(topology.DefaultIrregular(), cfg.Sweep.TopologySeed(t))
+	}
+	return out
+}
+
+// sweepLatency averages the simulated FPFS latency of the given policy
+// over the full methodology: cfg.Sweep.Trials destination sets on each
+// sweep topology, for destCount destinations and m packets.
+func sweepLatency(cfg Config, sys []*core.System, destCount, m int, policy core.TreePolicy) stats.Summary {
+	var sum stats.Summary
+	for t, s := range sys {
+		for i := 0; i < cfg.Sweep.Trials; i++ {
+			rng := cfg.Sweep.TrialRNG(t, i)
+			set := workload.DestSet(rng, s.Net.NumHosts(), destCount)
+			spec := core.Spec{Source: set[0], Dests: set[1:], Packets: m, Policy: policy}
+			sum.Add(s.Latency(spec, cfg.Params))
+		}
+	}
+	return sum
+}

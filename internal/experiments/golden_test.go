@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Golden renderings of the fully deterministic experiments: fig5 and fig8
+// derive from exact step schedules and fixed parameters, so their text
+// output must never drift.
+func TestGoldenFig5(t *testing.T) {
+	got := runFig5(Default()).String()
+	want := strings.Join([]string{
+		"== fig5: binomial vs linear steps ==",
+		"",
+		"3-packet multicast to 3 destinations under FPFS",
+		"tree      steps  model latency (us)",
+		"-----------------------------------",
+		"binomial  6      59.8              ",
+		"linear    5      54.0              ",
+		"",
+		"note: paper: binomial takes 6 steps, linear 5 — binomial is not optimal under packetization",
+		"",
+	}, "\n")
+	if got != want {
+		t.Errorf("fig5 output drifted:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestGoldenFig8(t *testing.T) {
+	got := runFig8(Default()).String()
+	for _, must := range []string{
+		"packet  completed at step",
+		"1       3",
+		"2       6",
+		"3       9",
+		"inter-packet lag = [3 3] (Theorem 1: equals root degree 3); total 9 steps",
+	} {
+		if !strings.Contains(got, must) {
+			t.Errorf("fig8 output missing %q:\n%s", must, got)
+		}
+	}
+}
+
+// The simulation-backed experiments must be bit-reproducible run to run
+// (seeded workloads, deterministic event ordering).
+func TestExperimentsReproducible(t *testing.T) {
+	for _, id := range []string{"fig13a", "fig14b", "buffer"} {
+		e, _ := ByID(id)
+		a := e.Run(Quick()).String()
+		b := e.Run(Quick()).String()
+		if a != b {
+			t.Errorf("%s not reproducible between runs", id)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+// Package ktree implements the core mathematics of the k-binomial multicast
+// tree from Kesavan & Panda, "Optimal Multicast with Packetization and
+// Network Interface Support" (ICPP 1997).
+//
+// A k-binomial tree is a recursively doubling multicast tree in which every
+// vertex has at most k children. Under the First-Packet-First-Served (FPFS)
+// smart network interface discipline, an m-packet multicast over a tree T
+// completes in
+//
+//	t1(T) + (m-1) * cR(T)
+//
+// steps, where t1 is the number of steps for a single-packet multicast and
+// cR is the number of children of the root (Theorems 1 and 2 of the paper).
+// The k-binomial tree minimizing that expression over k in [1, ceil(log2 n)]
+// is the optimal multicast tree (Theorem 3).
+package ktree
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// MaxNodes bounds the multicast set sizes for which coverage values are
+// precomputed on demand. It is far above anything the paper evaluates
+// (n <= 64) but keeps table memory trivially small.
+const MaxNodes = 1 << 20
+
+// Coverage returns N(s, k): the number of nodes (including the source)
+// covered in s steps by a k-binomial tree (Lemma 1 of the paper):
+//
+//	N(s, k) = 2^s                          if s <= k
+//	N(s, k) = 1 + sum_{i=1..k} N(s-i, k)   if s >  k
+//
+// Values are saturated at MaxNodes to avoid overflow; the saturation point
+// is far beyond any practical multicast set size.
+//
+// Coverage panics if s < 0 or k < 1.
+func Coverage(s, k int) int {
+	if s < 0 {
+		panic(fmt.Sprintf("ktree: negative step count %d", s))
+	}
+	if k < 1 {
+		panic(fmt.Sprintf("ktree: invalid fanout bound k=%d", k))
+	}
+	if s <= k {
+		if s >= 20 {
+			return MaxNodes
+		}
+		return 1 << s
+	}
+	// Rolling window holding N(step-k .. step-1, k); before the first
+	// iteration (step = k+1) that is N(1..k, k) = 2^1 .. 2^k.
+	window := make([]int, k)
+	for i := 0; i < k; i++ {
+		window[i] = 1 << (i + 1)
+	}
+	n := 0
+	for step := k + 1; step <= s; step++ {
+		n = 1
+		for _, v := range window {
+			n += v
+			if n >= MaxNodes {
+				n = MaxNodes
+				break
+			}
+		}
+		copy(window, window[1:])
+		window[k-1] = n
+	}
+	return n
+}
+
+// Steps1 returns t1(n, k): the minimum number of steps for a single-packet
+// multicast to reach n nodes (source included) with a k-binomial tree, i.e.
+// the smallest s with N(s, k) >= n.
+//
+// Steps1 panics if n < 1 or k < 1.
+func Steps1(n, k int) int {
+	if n < 1 {
+		panic(fmt.Sprintf("ktree: invalid multicast set size n=%d", n))
+	}
+	if k < 1 {
+		panic(fmt.Sprintf("ktree: invalid fanout bound k=%d", k))
+	}
+	if n == 1 {
+		return 0
+	}
+	// Within the binomial prefix (s <= k), N doubles every step.
+	if n <= (1 << uint(min(k, 30))) {
+		return CeilLog2(n)
+	}
+	window := make([]int, k)
+	for i := 0; i < k; i++ {
+		window[i] = 1 << min(i+1, 30)
+	}
+	for step := k + 1; ; step++ {
+		v := 1
+		for _, w := range window {
+			v += w
+			if v >= MaxNodes {
+				v = MaxNodes
+				break
+			}
+		}
+		if v >= n {
+			return step
+		}
+		copy(window, window[1:])
+		window[k-1] = v
+	}
+}
+
+// Steps returns the total number of steps for an m-packet multicast to n
+// nodes using a k-binomial tree under the FPFS discipline, per Theorem 2:
+// t1(n,k) + (m-1)*k.
+//
+// The paper's objective charges the full fanout bound k as the pipeline
+// interval even when the constructed root has fewer children; see
+// ScheduledSteps in package tree for the achieved value.
+func Steps(n, m, k int) int {
+	if m < 1 {
+		panic(fmt.Sprintf("ktree: invalid packet count m=%d", m))
+	}
+	return Steps1(n, k) + (m-1)*k
+}
+
+// CeilLog2 returns ceil(log2(n)) for n >= 1.
+func CeilLog2(n int) int {
+	if n < 1 {
+		panic(fmt.Sprintf("ktree: CeilLog2 of %d", n))
+	}
+	if n == 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// OptimalK returns the fanout bound k minimizing the m-packet FPFS step
+// count Steps(n, m, k) over k in [1, ceil(log2 n)], together with that
+// minimum step count (Theorem 3). Ties are broken toward the larger k,
+// which matches the paper's Fig. 12(a) anchor that m = 1 always selects
+// the binomial tree (k = ceil(log2 n)); smaller tied k would minimize the
+// same objective with less NI buffer residency, a trade-off callers can
+// make themselves via Steps.
+//
+// n is the multicast set size including the source; n >= 2 and m >= 1.
+func OptimalK(n, m int) (k, steps int) {
+	if n < 2 {
+		panic(fmt.Sprintf("ktree: OptimalK needs n >= 2, got %d", n))
+	}
+	if m < 1 {
+		panic(fmt.Sprintf("ktree: OptimalK needs m >= 1, got %d", m))
+	}
+	kMax := CeilLog2(n)
+	bestK, bestSteps := kMax, Steps(n, m, kMax)
+	for k := kMax - 1; k >= 1; k-- {
+		if s := Steps(n, m, k); s < bestSteps {
+			bestK, bestSteps = k, s
+		}
+	}
+	return bestK, bestSteps
+}
+
+// Table holds precomputed optimal k values for all multicast set sizes up to
+// NMax and packet counts up to MMax, mirroring the paper's Section 4.3.1
+// observation that the table is cheap (< O(n*m) small integers) and can be
+// computed once per system.
+type Table struct {
+	nMax, mMax int
+	k          []uint8 // k fits in uint8: k <= ceil(log2 n) <= 20 for n <= 2^20
+}
+
+// NewTable precomputes optimal k for every (n, m) with 2 <= n <= nMax and
+// 1 <= m <= mMax.
+func NewTable(nMax, mMax int) *Table {
+	if nMax < 2 || mMax < 1 {
+		panic(fmt.Sprintf("ktree: invalid table bounds n<=%d m<=%d", nMax, mMax))
+	}
+	t := &Table{nMax: nMax, mMax: mMax, k: make([]uint8, (nMax-1)*mMax)}
+	for n := 2; n <= nMax; n++ {
+		for m := 1; m <= mMax; m++ {
+			k, _ := OptimalK(n, m)
+			t.k[(n-2)*mMax+(m-1)] = uint8(k)
+		}
+	}
+	return t
+}
+
+// K returns the precomputed optimal k for the given multicast set size n and
+// packet count m. Arguments outside the precomputed range fall back to a
+// direct OptimalK computation.
+func (t *Table) K(n, m int) int {
+	if n < 2 {
+		panic(fmt.Sprintf("ktree: Table.K needs n >= 2, got %d", n))
+	}
+	if n > t.nMax || m < 1 || m > t.mMax {
+		k, _ := OptimalK(n, m)
+		return k
+	}
+	return int(t.k[(n-2)*t.mMax+(m-1)])
+}
+
+// Bounds reports the precomputed (nMax, mMax) range of the table.
+func (t *Table) Bounds() (nMax, mMax int) { return t.nMax, t.mMax }
+
+// CrossoverM returns the smallest packet count m at which the linear chain
+// (k = 1) becomes an optimal tree for multicast set size n. The paper notes
+// (Section 5.1) that this crossover arrives sooner for smaller n.
+func CrossoverM(n int) int {
+	if n < 2 {
+		panic(fmt.Sprintf("ktree: CrossoverM needs n >= 2, got %d", n))
+	}
+	for m := 1; ; m++ {
+		if k, _ := OptimalK(n, m); k == 1 {
+			return m
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

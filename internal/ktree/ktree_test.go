@@ -1,0 +1,294 @@
+package ktree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// coverageNaive is a direct transcription of Lemma 1 used as an oracle.
+func coverageNaive(s, k int) int {
+	if s < 0 {
+		return 0
+	}
+	if s <= k {
+		v := 1 << uint(s)
+		if v > MaxNodes {
+			return MaxNodes
+		}
+		return v
+	}
+	n := 1
+	for i := 1; i <= k; i++ {
+		n += coverageNaive(s-i, k)
+		if n >= MaxNodes {
+			return MaxNodes
+		}
+	}
+	return n
+}
+
+func TestCoverageBaseCases(t *testing.T) {
+	for k := 1; k <= 8; k++ {
+		if got := Coverage(0, k); got != 1 {
+			t.Errorf("Coverage(0,%d) = %d, want 1", k, got)
+		}
+		if got := Coverage(1, k); got != 2 {
+			t.Errorf("Coverage(1,%d) = %d, want 2", k, got)
+		}
+	}
+}
+
+func TestCoverageBinomialPrefix(t *testing.T) {
+	// For s <= k the k-binomial tree is exactly the binomial tree: N = 2^s.
+	for k := 1; k <= 10; k++ {
+		for s := 0; s <= k; s++ {
+			if got, want := Coverage(s, k), 1<<uint(s); got != want {
+				t.Errorf("Coverage(%d,%d) = %d, want %d", s, k, got, want)
+			}
+		}
+	}
+}
+
+func TestCoverageMatchesLemma1(t *testing.T) {
+	for k := 1; k <= 6; k++ {
+		for s := 0; s <= 16; s++ {
+			if got, want := Coverage(s, k), coverageNaive(s, k); got != want {
+				t.Errorf("Coverage(%d,%d) = %d, want %d", s, k, got, want)
+			}
+		}
+	}
+}
+
+func TestCoverageKnownValues(t *testing.T) {
+	// Values computable by hand from Lemma 1.
+	cases := []struct{ s, k, want int }{
+		{3, 2, 7},  // 1 + N(2,2) + N(1,2) = 1+4+2
+		{4, 2, 12}, // 1 + 7 + 4
+		{5, 2, 20}, // 1 + 12 + 7
+		{4, 3, 15}, // 1 + 8 + 4 + 2
+		{5, 3, 28}, // 1 + 15 + 8 + 4
+		{5, 4, 31}, // 1 + 16 + 8 + 4 + 2
+		{4, 4, 16},
+		{6, 1, 7}, // linear chain: s+1
+	}
+	for _, c := range cases {
+		if got := Coverage(c.s, c.k); got != c.want {
+			t.Errorf("Coverage(%d,%d) = %d, want %d", c.s, c.k, got, c.want)
+		}
+	}
+}
+
+func TestCoverageLinearChain(t *testing.T) {
+	for s := 0; s <= 40; s++ {
+		if got := Coverage(s, 1); got != s+1 {
+			t.Errorf("Coverage(%d,1) = %d, want %d", s, got, s+1)
+		}
+	}
+}
+
+func TestCoverageMonotonicInS(t *testing.T) {
+	if err := quick.Check(func(s uint8, k uint8) bool {
+		ss := int(s % 24)
+		kk := int(k%8) + 1
+		return Coverage(ss+1, kk) > Coverage(ss, kk) || Coverage(ss, kk) == MaxNodes
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoverageMonotonicInK(t *testing.T) {
+	if err := quick.Check(func(s uint8, k uint8) bool {
+		ss := int(s % 20)
+		kk := int(k%7) + 1
+		return Coverage(ss, kk+1) >= Coverage(ss, kk)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSteps1Inverse(t *testing.T) {
+	// t1 = Steps1(n,k) must satisfy N(t1,k) >= n > N(t1-1,k).
+	for k := 1; k <= 6; k++ {
+		for n := 1; n <= 300; n++ {
+			t1 := Steps1(n, k)
+			if Coverage(t1, k) < n {
+				t.Fatalf("Steps1(%d,%d)=%d but N(%d,%d)=%d < n", n, k, t1, t1, k, Coverage(t1, k))
+			}
+			if t1 > 0 && Coverage(t1-1, k) >= n {
+				t.Fatalf("Steps1(%d,%d)=%d not minimal: N(%d,%d)=%d >= n", n, k, t1, t1-1, k, Coverage(t1-1, k))
+			}
+		}
+	}
+}
+
+func TestSteps1BinomialEqualsCeilLog2(t *testing.T) {
+	for n := 1; n <= 1024; n++ {
+		k := CeilLog2(max(n, 2))
+		if got, want := Steps1(n, max(k, 1)), CeilLog2(n); got != want {
+			t.Errorf("Steps1(%d,%d) = %d, want ceil(log2 n) = %d", n, k, got, want)
+		}
+	}
+}
+
+func TestCeilLog2(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 16: 4, 17: 5, 64: 6, 65: 7, 1024: 10}
+	for n, want := range cases {
+		if got := CeilLog2(n); got != want {
+			t.Errorf("CeilLog2(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestStepsFig5Example(t *testing.T) {
+	// Paper Fig. 5: 3-packet message to 3 destinations (n = 4).
+	// Binomial tree (k=2): t1=2, steps = 2 + 2*2 = 6.
+	// Linear tree (k=1): t1=3, steps = 3 + 2*1 = 5.
+	if got := Steps(4, 3, 2); got != 6 {
+		t.Errorf("binomial Steps(4,3,2) = %d, want 6", got)
+	}
+	if got := Steps(4, 3, 1); got != 5 {
+		t.Errorf("linear Steps(4,3,1) = %d, want 5", got)
+	}
+}
+
+func TestStepsFig8Example(t *testing.T) {
+	// Paper Fig. 8: 3-packet multicast to 7 destinations (n = 8) over a
+	// binomial tree (k=3): 3 + (3-1)*3 = 9 steps.
+	if got := Steps(8, 3, 3); got != 9 {
+		t.Errorf("Steps(8,3,3) = %d, want 9", got)
+	}
+}
+
+func TestOptimalKSinglePacketIsBinomial(t *testing.T) {
+	// For m = 1 the binomial tree (k = ceil(log2 n)) is optimal; smaller k
+	// may tie only when it achieves the same t1. Verify the step count
+	// matches the binomial bound exactly.
+	for n := 2; n <= 256; n++ {
+		_, steps := OptimalK(n, 1)
+		if want := CeilLog2(n); steps != want {
+			t.Errorf("OptimalK(%d,1) steps = %d, want %d", n, steps, want)
+		}
+	}
+}
+
+func TestOptimalKIsArgmin(t *testing.T) {
+	for n := 2; n <= 128; n++ {
+		for m := 1; m <= 40; m++ {
+			k, steps := OptimalK(n, m)
+			if k < 1 || k > CeilLog2(n) {
+				t.Fatalf("OptimalK(%d,%d) k=%d out of range", n, m, k)
+			}
+			for kk := 1; kk <= CeilLog2(n); kk++ {
+				if s := Steps(n, m, kk); s < steps {
+					t.Fatalf("OptimalK(%d,%d)=(%d,%d) but k=%d gives %d", n, m, k, steps, kk, s)
+				}
+			}
+			if Steps(n, m, k) != steps {
+				t.Fatalf("OptimalK(%d,%d) steps inconsistent", n, m)
+			}
+		}
+	}
+}
+
+func TestOptimalKNonIncreasingInM(t *testing.T) {
+	// Paper Fig. 12(a): with n fixed, optimal k never increases as m grows.
+	for _, n := range []int{16, 32, 48, 64} {
+		prev := CeilLog2(n) + 1
+		for m := 1; m <= 64; m++ {
+			k, _ := OptimalK(n, m)
+			if k > prev {
+				t.Errorf("n=%d: optimal k rose from %d to %d at m=%d", n, prev, k, m)
+			}
+			prev = k
+		}
+	}
+}
+
+func TestOptimalKPaperValues(t *testing.T) {
+	// Anchors from Section 5.1 / Fig. 12.
+	if k, _ := OptimalK(16, 1); k != 4 {
+		t.Errorf("OptimalK(16,1) = %d, want 4 (binomial)", k)
+	}
+	// For m in {4,8}, the optimal k is 2 across the paper's set sizes.
+	for _, n := range []int{16, 32, 48, 64} {
+		for _, m := range []int{4, 8} {
+			if k, _ := OptimalK(n, m); k != 2 {
+				t.Errorf("OptimalK(%d,%d) = %d, want 2 (paper Fig. 12(b))", n, m, k)
+			}
+		}
+	}
+}
+
+func TestCrossoverMOrdering(t *testing.T) {
+	// Paper: optimal k for n=16 reaches 1 before n=32 does.
+	c16, c32, c64 := CrossoverM(16), CrossoverM(32), CrossoverM(64)
+	if !(c16 <= c32 && c32 <= c64) {
+		t.Errorf("crossover m not monotone: n=16:%d n=32:%d n=64:%d", c16, c32, c64)
+	}
+	if c16 == c32 && c32 == c64 {
+		t.Errorf("crossovers unexpectedly identical: %d", c16)
+	}
+	// After the crossover, k must remain 1.
+	for m := c16; m < c16+20; m++ {
+		if k, _ := OptimalK(16, m); k != 1 {
+			t.Errorf("n=16 m=%d: k=%d after crossover", m, k)
+		}
+	}
+}
+
+func TestTableMatchesDirect(t *testing.T) {
+	tab := NewTable(80, 40)
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		n := 2 + r.Intn(79)
+		m := 1 + r.Intn(39)
+		want, _ := OptimalK(n, m)
+		if got := tab.K(n, m); got != want {
+			t.Errorf("Table.K(%d,%d) = %d, want %d", n, m, got, want)
+		}
+	}
+	if nMax, mMax := tab.Bounds(); nMax != 80 || mMax != 40 {
+		t.Errorf("Bounds() = (%d,%d), want (80,40)", nMax, mMax)
+	}
+}
+
+func TestTableFallbackOutOfRange(t *testing.T) {
+	tab := NewTable(8, 4)
+	want, _ := OptimalK(100, 10)
+	if got := tab.K(100, 10); got != want {
+		t.Errorf("out-of-range Table.K(100,10) = %d, want %d", got, want)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	cases := []func(){
+		func() { Coverage(-1, 2) },
+		func() { Coverage(3, 0) },
+		func() { Steps1(0, 2) },
+		func() { Steps1(4, 0) },
+		func() { Steps(4, 0, 2) },
+		func() { OptimalK(1, 1) },
+		func() { OptimalK(4, 0) },
+		func() { CeilLog2(0) },
+		func() { CrossoverM(1) },
+		func() { NewTable(1, 1) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

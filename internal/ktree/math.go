@@ -1,0 +1,93 @@
+package ktree
+
+import (
+	"fmt"
+	"math"
+)
+
+// GrowthRate returns the asymptotic per-step growth factor of the
+// k-binomial tree: the dominant root r_k of
+//
+//	x^k = x^(k-1) + x^(k-2) + ... + x + 1,
+//
+// the k-bonacci constant (r_1 = 1 is degenerate — the linear chain grows
+// additively; r_2 is the golden ratio 1.618…; r_k -> 2 as k -> infinity,
+// recovering the binomial tree's doubling). N(s, k) grows like c * r_k^s,
+// so t1(n, k) ~ log(n) / log(r_k).
+func GrowthRate(k int) float64 {
+	if k < 1 {
+		panic(fmt.Sprintf("ktree: invalid fanout bound k=%d", k))
+	}
+	if k == 1 {
+		return 1
+	}
+	// The defining equation is equivalent to f(x) = x^k (2 - x) - 1 = 0 on
+	// (1, 2); f(1) = 1 - 1 = 0 is the spurious root, the dominant root is
+	// the other zero. Bisect on [1+eps, 2].
+	f := func(x float64) float64 { return math.Pow(x, float64(k))*(2-x) - 1 }
+	lo, hi := 1.0000001, 2.0
+	// f(lo) > 0 (just above the spurious root the polynomial rises), and
+	// f(2) = -1 < 0.
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if f(mid) > 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// Steps1Estimate returns the asymptotic estimate of t1(n, k) from the
+// growth rate: log(n) / log(r_k), rounded up. For k = 1 it returns n-1
+// exactly (additive growth).
+func Steps1Estimate(n, k int) int {
+	if n < 1 {
+		panic(fmt.Sprintf("ktree: invalid multicast set size n=%d", n))
+	}
+	if k < 1 {
+		panic(fmt.Sprintf("ktree: invalid fanout bound k=%d", k))
+	}
+	if n == 1 {
+		return 0
+	}
+	if k == 1 {
+		return n - 1
+	}
+	return int(math.Ceil(math.Log(float64(n)) / math.Log(GrowthRate(k))))
+}
+
+// OptimalKMinBuffer is OptimalK with the tie broken toward the smaller k:
+// among fanout bounds minimizing the step objective it selects the one
+// with the least NI buffer residency (Section 3.3.2: FPFS holds a packet
+// for c*t_sq, c <= k). Latency is identical to OptimalK by construction.
+func OptimalKMinBuffer(n, m int) (k, steps int) {
+	if n < 2 {
+		panic(fmt.Sprintf("ktree: OptimalKMinBuffer needs n >= 2, got %d", n))
+	}
+	if m < 1 {
+		panic(fmt.Sprintf("ktree: OptimalKMinBuffer needs m >= 1, got %d", m))
+	}
+	bestK, bestSteps := 1, Steps(n, m, 1)
+	for kk := 2; kk <= CeilLog2(n); kk++ {
+		if s := Steps(n, m, kk); s < bestSteps {
+			bestK, bestSteps = kk, s
+		}
+	}
+	return bestK, bestSteps
+}
+
+// PipelineEfficiency returns the fraction of the m-packet multicast spent
+// doing useful pipelined work under the k-binomial tree: the single-packet
+// fill time t1 is the pipeline's startup cost, so efficiency is
+// (m-1)*k / (t1 + (m-1)*k) for the steady phase, approaching 1 for long
+// messages. Useful for reasoning about when tree choice stops mattering.
+func PipelineEfficiency(n, m, k int) float64 {
+	t1 := Steps1(n, k)
+	total := float64(t1 + (m-1)*k)
+	if total == 0 {
+		return 0
+	}
+	return float64((m-1)*k) / total
+}

@@ -1,0 +1,138 @@
+package ktree
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGrowthRateKnownConstants(t *testing.T) {
+	cases := map[int]float64{
+		2: 1.6180339887, // golden ratio
+		3: 1.8392867552, // tribonacci constant
+		4: 1.9275619754, // tetranacci constant
+	}
+	for k, want := range cases {
+		if got := GrowthRate(k); math.Abs(got-want) > 1e-8 {
+			t.Errorf("GrowthRate(%d) = %.10f, want %.10f", k, got, want)
+		}
+	}
+	if GrowthRate(1) != 1 {
+		t.Error("GrowthRate(1) should be 1")
+	}
+}
+
+func TestGrowthRateMonotoneTowardTwo(t *testing.T) {
+	prev := 1.0
+	for k := 2; k <= 20; k++ {
+		r := GrowthRate(k)
+		if r <= prev || r >= 2 {
+			t.Errorf("GrowthRate(%d) = %f not in (prev, 2)", k, r)
+		}
+		prev = r
+	}
+	if r := GrowthRate(30); 2-r > 1e-8 {
+		t.Errorf("GrowthRate(30) = %.12f, want ~2", r)
+	}
+}
+
+func TestGrowthRateMatchesCoverageRatio(t *testing.T) {
+	// N(s+1,k)/N(s,k) must converge to the growth rate.
+	for k := 2; k <= 5; k++ {
+		want := GrowthRate(k)
+		s := 18 // N(19, k) < 2^19 < MaxNodes: no saturation
+		ratio := float64(Coverage(s+1, k)) / float64(Coverage(s, k))
+		if math.Abs(ratio-want) > 1e-3 {
+			t.Errorf("k=%d: empirical ratio %f vs growth rate %f", k, ratio, want)
+		}
+	}
+}
+
+func TestSteps1EstimateTracksExact(t *testing.T) {
+	for k := 2; k <= 6; k++ {
+		for _, n := range []int{16, 64, 256, 1024, 1 << 14} {
+			got := Steps1Estimate(n, k)
+			exact := Steps1(n, k)
+			if d := got - exact; d < -2 || d > 2 {
+				t.Errorf("k=%d n=%d: estimate %d vs exact %d", k, n, got, exact)
+			}
+		}
+	}
+	// k = 1 is exact.
+	for _, n := range []int{1, 2, 17, 100} {
+		if got := Steps1Estimate(n, 1); got != maxInt(n-1, 0) {
+			t.Errorf("Steps1Estimate(%d,1) = %d", n, got)
+		}
+	}
+}
+
+func TestOptimalKMinBufferSameLatency(t *testing.T) {
+	// The min-buffer tie-break must achieve exactly the same step count as
+	// the default (max-k) tie-break, with k no larger.
+	for n := 2; n <= 128; n++ {
+		for m := 1; m <= 32; m++ {
+			kHi, sHi := OptimalK(n, m)
+			kLo, sLo := OptimalKMinBuffer(n, m)
+			if sHi != sLo {
+				t.Fatalf("n=%d m=%d: step counts differ: %d vs %d", n, m, sHi, sLo)
+			}
+			if kLo > kHi {
+				t.Fatalf("n=%d m=%d: min-buffer k=%d > default k=%d", n, m, kLo, kHi)
+			}
+		}
+	}
+}
+
+func TestOptimalKMinBufferTieExample(t *testing.T) {
+	// n = 48, m = 1: k = 3 already achieves the binomial step count 6, so
+	// the buffer-friendly pick is 3 while the figure-faithful pick is 6.
+	kLo, _ := OptimalKMinBuffer(48, 1)
+	kHi, _ := OptimalK(48, 1)
+	if kLo != 3 || kHi != 6 {
+		t.Errorf("tie-break mismatch: min-buffer %d (want 3), default %d (want 6)", kLo, kHi)
+	}
+}
+
+func TestPipelineEfficiency(t *testing.T) {
+	// Single packet: no pipelined work.
+	if e := PipelineEfficiency(64, 1, 2); e != 0 {
+		t.Errorf("m=1 efficiency = %f, want 0", e)
+	}
+	// Long messages: efficiency approaches 1 and grows monotonically.
+	prev := 0.0
+	for _, m := range []int{2, 4, 16, 64, 256} {
+		e := PipelineEfficiency(64, m, 2)
+		if e <= prev || e >= 1 {
+			t.Errorf("m=%d: efficiency %f not in (prev, 1)", m, e)
+		}
+		prev = e
+	}
+	if prev < 0.95 {
+		t.Errorf("m=256 efficiency = %f, want > 0.95", prev)
+	}
+}
+
+func TestMathPanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { GrowthRate(0) },
+		func() { Steps1Estimate(0, 2) },
+		func() { Steps1Estimate(4, 0) },
+		func() { OptimalKMinBuffer(1, 1) },
+		func() { OptimalKMinBuffer(4, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,83 @@
+package message
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeHeader ensures the header decoder never panics and that every
+// successfully decoded header re-encodes to its canonical form's prefix.
+func FuzzDecodeHeader(f *testing.F) {
+	good := Header{MsgID: 9, Source: 3, Seq: 1, Total: 4, Multicast: true, Payload: 10, Checksum: 99}
+	f.Add(good.Encode(nil))
+	f.Add([]byte{})
+	f.Add(make([]byte, HeaderSize))
+	f.Add(bytes.Repeat([]byte{0xFF}, HeaderSize+8))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := DecodeHeader(data)
+		if err != nil {
+			return
+		}
+		// Round-trip: canonical encoding must decode to the same header.
+		back, err := DecodeHeader(h.Encode(nil))
+		if err != nil {
+			t.Fatalf("canonical re-decode failed: %v", err)
+		}
+		if back != h {
+			t.Fatalf("header not canonical: %+v vs %+v", h, back)
+		}
+	})
+}
+
+// FuzzReassemblerAdd ensures arbitrary packets never panic the
+// reassembler, and that valid single-packet messages always complete.
+func FuzzReassemblerAdd(f *testing.F) {
+	pkts, _ := Packetize(1, 0, []byte("seed payload for the fuzzer"), 48)
+	for _, p := range pkts {
+		f.Add(p)
+	}
+	f.Add([]byte("garbage"))
+	f.Fuzz(func(t *testing.T, pkt []byte) {
+		r := NewReassembler()
+		done, err := r.Add(pkt)
+		if err != nil {
+			return
+		}
+		got, total := r.Progress()
+		if got != 1 {
+			t.Fatalf("accepted packet but progress %d/%d", got, total)
+		}
+		if done != (total == 1) {
+			t.Fatalf("completion flag inconsistent: done=%v total=%d", done, total)
+		}
+		if done {
+			_ = r.Bytes() // must not panic when complete
+		}
+	})
+}
+
+// FuzzPacketizeRoundTrip checks the full fragment/reassemble cycle over
+// arbitrary payloads and packet sizes.
+func FuzzPacketizeRoundTrip(f *testing.F) {
+	f.Add([]byte("hello world"), 64)
+	f.Add([]byte{}, 21)
+	f.Add(bytes.Repeat([]byte{7}, 1000), 32)
+	f.Fuzz(func(t *testing.T, data []byte, pktSize int) {
+		if pktSize <= HeaderSize || pktSize > 4096 || len(data) > 1<<16 {
+			return
+		}
+		pkts, err := Packetize(5, 1, data, pktSize)
+		if err != nil {
+			t.Fatalf("packetize rejected valid input: %v", err)
+		}
+		r := NewReassembler()
+		for _, p := range pkts {
+			if _, err := r.Add(p); err != nil {
+				t.Fatalf("reassembly of own packets failed: %v", err)
+			}
+		}
+		if !bytes.Equal(r.Bytes(), data) {
+			t.Fatal("round trip corrupted payload")
+		}
+	})
+}

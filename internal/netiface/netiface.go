@@ -1,0 +1,186 @@
+// Package netiface models a single smart network interface in isolation:
+// a coprocessor draining a send queue at a fixed per-copy cost t_sq, fed
+// by a multicast packet stream, under either forwarding discipline (FCFS
+// or FPFS).
+//
+// The event simulator (package sim) embeds equivalent logic per node; this
+// package exposes the NI alone so the Section 3.3 buffer-requirement
+// analysis can be studied and tested directly against the closed forms in
+// package analytic, for any inter-arrival pattern — including the
+// zero-delay best case the paper assumes and the bursty or delayed
+// arrivals it argues make FCFS strictly worse.
+package netiface
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stepsim"
+)
+
+// Trace is the per-packet residency report of one simulated NI.
+type Trace struct {
+	Discipline stepsim.Discipline
+	Children   int
+	Packets    int
+	// Arrive[j] is the (given) arrival time of packet j at the NI.
+	Arrive []float64
+	// FirstServed[j] is when the coprocessor began injecting packet j's
+	// first copy.
+	FirstServed []float64
+	// Freed[j] is when packet j's last copy finished injecting, i.e. when
+	// its buffer slot is released.
+	Freed []float64
+	// Residency[j] = Freed[j] - Arrive[j]: how long the packet occupies NI
+	// memory.
+	Residency []float64
+	// ServiceResidency[j] = Freed[j] - FirstServed[j]: the paper's Section
+	// 3.3.2 interval, measured from when the coprocessor reads the packet.
+	ServiceResidency []float64
+	// PeakBuffered is the largest number of packets simultaneously
+	// resident.
+	PeakBuffered int
+	// Makespan is when the final copy left the NI.
+	Makespan float64
+}
+
+// MaxResidency returns the largest per-packet residency.
+func (t *Trace) MaxResidency() float64 {
+	max := 0.0
+	for _, r := range t.Residency {
+		if r > max {
+			max = r
+		}
+	}
+	return max
+}
+
+// Forward simulates one intermediate-node NI forwarding an m-packet
+// multicast message to c children. arrivals[j] is the time packet j is
+// fully received (must be non-decreasing); tsq is the time to inject one
+// packet copy. The send queue is served in discipline order; an injection
+// cannot start before the packet has arrived.
+func Forward(d stepsim.Discipline, c int, arrivals []float64, tsq float64) *Trace {
+	if c < 1 {
+		panic(fmt.Sprintf("netiface: child count %d < 1", c))
+	}
+	if len(arrivals) == 0 {
+		panic("netiface: no packets")
+	}
+	if tsq <= 0 {
+		panic(fmt.Sprintf("netiface: t_sq %f <= 0", tsq))
+	}
+	m := len(arrivals)
+	for j := 1; j < m; j++ {
+		if arrivals[j] < arrivals[j-1] {
+			panic(fmt.Sprintf("netiface: arrivals not monotone at %d", j))
+		}
+	}
+
+	type op struct{ packet int }
+	var queue []op
+	switch d {
+	case stepsim.FPFS:
+		for j := 0; j < m; j++ {
+			for i := 0; i < c; i++ {
+				queue = append(queue, op{j})
+			}
+		}
+	case stepsim.FCFS, stepsim.Conventional:
+		// Conventional host forwarding hands the NI the message per child
+		// as well; at the queue level it behaves like FCFS with the whole
+		// message present.
+		for i := 0; i < c; i++ {
+			for j := 0; j < m; j++ {
+				queue = append(queue, op{j})
+			}
+		}
+	default:
+		panic(fmt.Sprintf("netiface: unknown discipline %v", d))
+	}
+
+	tr := &Trace{
+		Discipline:       d,
+		Children:         c,
+		Packets:          m,
+		Arrive:           append([]float64(nil), arrivals...),
+		FirstServed:      make([]float64, m),
+		Freed:            make([]float64, m),
+		Residency:        make([]float64, m),
+		ServiceResidency: make([]float64, m),
+	}
+	copies := make([]int, m)
+	now := 0.0
+	for _, o := range queue {
+		start := math.Max(now, arrivals[o.packet])
+		now = start + tsq
+		copies[o.packet]++
+		if copies[o.packet] == 1 {
+			tr.FirstServed[o.packet] = start
+		}
+		if copies[o.packet] == c {
+			tr.Freed[o.packet] = now
+		}
+	}
+	tr.Makespan = now
+	for j := 0; j < m; j++ {
+		tr.Residency[j] = tr.Freed[j] - arrivals[j]
+		tr.ServiceResidency[j] = tr.Freed[j] - tr.FirstServed[j]
+	}
+
+	// Peak simultaneous residency: sweep the [arrive, freed) intervals.
+	type edge struct {
+		t     float64
+		delta int
+	}
+	edges := make([]edge, 0, 2*m)
+	for j := 0; j < m; j++ {
+		edges = append(edges, edge{arrivals[j], +1}, edge{tr.Freed[j], -1})
+	}
+	// Insertion sort by time, releases before arrivals at equal times.
+	for i := 1; i < len(edges); i++ {
+		for k := i; k > 0; k-- {
+			a, b := edges[k-1], edges[k]
+			if b.t < a.t || (b.t == a.t && b.delta < a.delta) {
+				edges[k-1], edges[k] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	cur := 0
+	for _, e := range edges {
+		cur += e.delta
+		if cur > tr.PeakBuffered {
+			tr.PeakBuffered = cur
+		}
+	}
+	return tr
+}
+
+// ZeroDelayArrivals builds the paper's best-case arrival pattern: all m
+// packets available back-to-back starting at time 0 with inter-arrival
+// delta (delta = 0 reproduces the Section 3.3.2 assumption exactly).
+func ZeroDelayArrivals(m int, delta float64) []float64 {
+	if m < 1 {
+		panic(fmt.Sprintf("netiface: packet count %d < 1", m))
+	}
+	if delta < 0 {
+		panic(fmt.Sprintf("netiface: negative inter-arrival %f", delta))
+	}
+	out := make([]float64, m)
+	for j := range out {
+		out[j] = float64(j) * delta
+	}
+	return out
+}
+
+// PipelineArrivals builds the arrival pattern an intermediate node sees in
+// a k-binomial multicast: the parent serves cParent copies per packet, so
+// packets arrive every cParent*tsq.
+func PipelineArrivals(m, cParent int, tsq float64) []float64 {
+	if cParent < 1 {
+		panic(fmt.Sprintf("netiface: parent fanout %d < 1", cParent))
+	}
+	return ZeroDelayArrivals(m, float64(cParent)*tsq)
+}

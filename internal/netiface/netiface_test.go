@@ -1,0 +1,196 @@
+package netiface
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/analytic"
+	"repro/internal/stepsim"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestFCFSMatchesPaperResidency(t *testing.T) {
+	// Section 3.3.2 best case (zero inter-arrival delay): every packet's
+	// residency from first coprocessor read to last copy injected is
+	// ((c-1)m + 1) * t_sq under FCFS — identical for every packet j, as
+	// the paper's derivation implies.
+	tsq := 1.0
+	for c := 2; c <= 8; c++ {
+		for m := 1; m <= 16; m++ {
+			tr := Forward(stepsim.FCFS, c, ZeroDelayArrivals(m, 0), tsq)
+			want := float64(analytic.BufferResidencyFCFS(c, m)) * tsq
+			for j, r := range tr.ServiceResidency {
+				if !approx(r, want) {
+					t.Fatalf("c=%d m=%d packet %d: service residency %f, want %f", c, m, j, r, want)
+				}
+			}
+			// Memory residency (from arrival) is at least as long.
+			for j := range tr.Residency {
+				if tr.Residency[j] < tr.ServiceResidency[j]-1e-9 {
+					t.Fatalf("c=%d m=%d packet %d: memory residency below service residency", c, m, j)
+				}
+			}
+		}
+	}
+}
+
+func TestFPFSMatchesPaperResidency(t *testing.T) {
+	// The paper's T_p = c*t_sq counts from when the NI reads the packet
+	// until its last copy is injected; under FPFS the c copies are served
+	// back-to-back, so the service residency is exactly c*t_sq for every
+	// packet, whatever the arrival pattern.
+	tsq := 1.0
+	for c := 1; c <= 8; c++ {
+		for m := 1; m <= 16; m++ {
+			for _, delta := range []float64{0, 1, float64(c) * tsq, 7} {
+				tr := Forward(stepsim.FPFS, c, ZeroDelayArrivals(m, delta), tsq)
+				want := float64(analytic.BufferResidencyFPFS(c)) * tsq
+				for j, r := range tr.ServiceResidency {
+					if !approx(r, want) {
+						t.Fatalf("c=%d m=%d delta=%f packet %d: service residency %f, want %f",
+							c, m, delta, j, r, want)
+					}
+				}
+			}
+			// With pipeline arrivals (inter-arrival >= c*tsq) the queue
+			// drains in time: memory residency equals service residency
+			// and at most one packet is ever buffered.
+			tr := Forward(stepsim.FPFS, c, PipelineArrivals(m, c, tsq), tsq)
+			for j, r := range tr.Residency {
+				if !approx(r, float64(c)*tsq) {
+					t.Fatalf("c=%d m=%d packet %d: pipeline residency %f, want %f", c, m, j, r, float64(c)*tsq)
+				}
+			}
+			if tr.PeakBuffered != 1 {
+				t.Fatalf("c=%d m=%d: peak %d, want 1 (drain keeps up)", c, m, tr.PeakBuffered)
+			}
+		}
+	}
+}
+
+func TestFCFSPeakHoldsWholeMessage(t *testing.T) {
+	// Under FCFS with fast arrivals the NI must hold all m packets at once.
+	for _, m := range []int{2, 8, 32} {
+		tr := Forward(stepsim.FCFS, 4, ZeroDelayArrivals(m, 0), 1.0)
+		if tr.PeakBuffered != m {
+			t.Errorf("m=%d: FCFS peak %d, want %d", m, tr.PeakBuffered, m)
+		}
+	}
+}
+
+func TestFPFSPeakBounded(t *testing.T) {
+	// FPFS with pipeline arrivals from a parent with fanout >= own fanout
+	// keeps at most c+1 packets resident even for long messages.
+	for c := 1; c <= 6; c++ {
+		tr := Forward(stepsim.FPFS, c, PipelineArrivals(64, c, 1.0), 1.0)
+		if tr.PeakBuffered > c+1 {
+			t.Errorf("c=%d: FPFS peak %d > c+1", c, tr.PeakBuffered)
+		}
+	}
+}
+
+func TestMakespanEqualCopies(t *testing.T) {
+	// Both disciplines inject exactly c*m copies; with all packets present
+	// at time 0 the makespans agree.
+	for c := 1; c <= 5; c++ {
+		for m := 1; m <= 9; m++ {
+			a := Forward(stepsim.FPFS, c, ZeroDelayArrivals(m, 0), 2.0)
+			b := Forward(stepsim.FCFS, c, ZeroDelayArrivals(m, 0), 2.0)
+			want := float64(c*m) * 2.0
+			if !approx(a.Makespan, want) || !approx(b.Makespan, want) {
+				t.Fatalf("c=%d m=%d: makespans %f/%f, want %f", c, m, a.Makespan, b.Makespan, want)
+			}
+		}
+	}
+}
+
+func TestDelayedArrivalsHurtFCFSMore(t *testing.T) {
+	// The paper: "if there is delay between incoming packets, each packet
+	// requires longer buffering in the FCFS implementation". FPFS
+	// residency is unaffected once the drain keeps up.
+	c, m, tsq := 3, 8, 1.0
+	slow := ZeroDelayArrivals(m, 5.0) // inter-arrival 5 > c*tsq
+	fc := Forward(stepsim.FCFS, c, slow, tsq)
+	fp := Forward(stepsim.FPFS, c, slow, tsq)
+	if fp.MaxResidency() != float64(c)*tsq {
+		t.Errorf("FPFS residency %f, want %f", fp.MaxResidency(), float64(c)*tsq)
+	}
+	// FCFS: the first packet waits for the whole (delayed) message before
+	// later children are served — residency grows with the arrival span.
+	if fc.MaxResidency() <= fp.MaxResidency()*2 {
+		t.Errorf("FCFS residency %f not much worse than FPFS %f under delay",
+			fc.MaxResidency(), fp.MaxResidency())
+	}
+}
+
+func TestConventionalBehavesLikeFCFSQueue(t *testing.T) {
+	a := Forward(stepsim.Conventional, 3, ZeroDelayArrivals(5, 0), 1.0)
+	b := Forward(stepsim.FCFS, 3, ZeroDelayArrivals(5, 0), 1.0)
+	for j := range a.Residency {
+		if !approx(a.Residency[j], b.Residency[j]) {
+			t.Fatalf("packet %d: conventional %f vs FCFS %f", j, a.Residency[j], b.Residency[j])
+		}
+	}
+}
+
+func TestTraceFields(t *testing.T) {
+	tr := Forward(stepsim.FPFS, 2, ZeroDelayArrivals(3, 0), 1.0)
+	if tr.Discipline != stepsim.FPFS || tr.Children != 2 || tr.Packets != 3 {
+		t.Error("trace metadata wrong")
+	}
+	if len(tr.Arrive) != 3 || len(tr.Freed) != 3 || len(tr.Residency) != 3 {
+		t.Error("trace slices wrong length")
+	}
+	// Freed must be non-decreasing in packet order under both disciplines.
+	for j := 1; j < 3; j++ {
+		if tr.Freed[j] < tr.Freed[j-1] {
+			t.Error("Freed not monotone")
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { Forward(stepsim.FPFS, 0, []float64{0}, 1) },
+		func() { Forward(stepsim.FPFS, 2, nil, 1) },
+		func() { Forward(stepsim.FPFS, 2, []float64{0}, 0) },
+		func() { Forward(stepsim.FPFS, 2, []float64{1, 0}, 1) },
+		func() { Forward(stepsim.Discipline(9), 2, []float64{0}, 1) },
+		func() { ZeroDelayArrivals(0, 1) },
+		func() { ZeroDelayArrivals(2, -1) },
+		func() { PipelineArrivals(2, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestQuickFPFSNeverWorseResidency(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			vals[0] = reflect.ValueOf(1 + r.Intn(8))   // c
+			vals[1] = reflect.ValueOf(1 + r.Intn(24))  // m
+			vals[2] = reflect.ValueOf(r.Float64() * 4) // inter-arrival delta
+		},
+	}
+	if err := quick.Check(func(c, m int, delta float64) bool {
+		arr := ZeroDelayArrivals(m, delta)
+		fp := Forward(stepsim.FPFS, c, arr, 1.0)
+		fc := Forward(stepsim.FCFS, c, arr, 1.0)
+		return fp.MaxResidency() <= fc.MaxResidency()+1e-9 &&
+			fp.PeakBuffered <= fc.PeakBuffered
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}

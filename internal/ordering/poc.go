@@ -1,0 +1,78 @@
+package ordering
+
+import (
+	"repro/internal/routing"
+)
+
+// POC builds a Partial Ordered Chain for an irregular network routed by
+// up*/down*. The paper cites POC (Kesavan, Bondalapati & Panda, HPCA-3
+// 1997) as the ordering with minimal contention when no contention-free
+// ordering exists; the original construction text is not available here,
+// so this is a faithful-in-spirit greedy reimplementation (documented as a
+// substitution in DESIGN.md):
+//
+// Starting from the routing root's first host, the chain is extended one
+// host at a time with the candidate whose route from the current tail
+// shares channels with the fewest routes between earlier consecutive
+// pairs — i.e. it greedily minimizes exactly the pairwise chain conflict
+// metric (PairwiseChainConflicts) that the k-binomial construction
+// stresses. Ties fall to the shorter route, then the lower host ID, so
+// the result is deterministic.
+func POC(r *routing.UpDown) *Ordering {
+	net := r.Network()
+	n := net.NumHosts()
+	if n == 1 {
+		return New("poc", []int{0})
+	}
+
+	// Start where CCO starts: the first host of the routing root switch.
+	start := net.SwitchHosts(r.Root())[0]
+	used := make([]bool, n)
+	used[start] = true
+	chain := []int{start}
+
+	// Channels used by each earlier consecutive-pair route, kept as a
+	// slice of channel sets for conflict counting.
+	var segRoutes []map[int]struct{}
+
+	channelSet := func(rt routing.Route) map[int]struct{} {
+		s := make(map[int]struct{}, len(rt.Channels))
+		for _, c := range rt.Channels {
+			s[c] = struct{}{}
+		}
+		return s
+	}
+	conflicts := func(rt routing.Route) int {
+		n := 0
+		for _, seg := range segRoutes {
+			for _, c := range rt.Channels {
+				if _, ok := seg[c]; ok {
+					n++
+					break
+				}
+			}
+		}
+		return n
+	}
+
+	for len(chain) < n {
+		tail := chain[len(chain)-1]
+		best, bestConf, bestHops := -1, 1<<30, 1<<30
+		for h := 0; h < n; h++ {
+			if used[h] {
+				continue
+			}
+			rt := r.Route(tail, h)
+			conf := conflicts(rt)
+			hops := rt.Hops()
+			if conf < bestConf || (conf == bestConf && hops < bestHops) {
+				best, bestConf, bestHops = h, conf, hops
+			}
+		}
+		rt := r.Route(tail, best)
+		segRoutes = append(segRoutes, channelSet(rt))
+		used[best] = true
+		chain = append(chain, best)
+	}
+	return New("poc", chain)
+}

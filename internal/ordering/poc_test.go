@@ -1,0 +1,86 @@
+package ordering
+
+import (
+	"testing"
+
+	"repro/internal/stepsim"
+	"repro/internal/tree"
+	"repro/internal/workload"
+)
+
+func TestPOCIsPermutation(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		net, r := irregular(seed)
+		o := POC(r)
+		if o.Name() != "poc" || len(o.Hosts()) != net.NumHosts() {
+			t.Fatalf("seed %d: malformed POC", seed)
+		}
+		seen := map[int]bool{}
+		for _, h := range o.Hosts() {
+			if seen[h] {
+				t.Fatalf("seed %d: duplicate host %d", seed, h)
+			}
+			seen[h] = true
+		}
+	}
+}
+
+func TestPOCDeterministic(t *testing.T) {
+	_, r1 := irregular(3)
+	_, r2 := irregular(3)
+	a, b := POC(r1).Hosts(), POC(r2).Hosts()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("POC not deterministic")
+		}
+	}
+}
+
+func TestPOCStartsAtRootSwitch(t *testing.T) {
+	net, r := irregular(4)
+	o := POC(r)
+	if net.HostSwitch(o.Hosts()[0]) != r.Root() {
+		t.Error("POC does not start at the routing root's switch")
+	}
+}
+
+func TestPOCMinimizesPairwiseConflictsVsIdentity(t *testing.T) {
+	// POC greedily minimizes the pairwise chain conflict metric, so it
+	// must not lose to the uninformed identity ordering on it.
+	for seed := uint64(0); seed < 5; seed++ {
+		net, r := irregular(seed)
+		poc := PairwiseChainConflicts(POC(r).Hosts(), r)
+		id := PairwiseChainConflicts(Identity(net.NumHosts()).Hosts(), r)
+		if poc > id {
+			t.Errorf("seed %d: POC pairwise conflicts %d > identity %d", seed, poc, id)
+		}
+	}
+}
+
+func TestPOCCompetitiveWithCCOOnSchedules(t *testing.T) {
+	// Aggregate same-step schedule conflicts over random multicasts: POC
+	// should be in CCO's league (both are "minimal contention" orderings);
+	// require POC <= 1.5x CCO + slack to catch regressions without
+	// overfitting to one heuristic.
+	var pocTotal, ccoTotal int
+	for seed := uint64(0); seed < 4; seed++ {
+		_, r := irregular(seed)
+		poc, cco := POC(r), CCO(r)
+		rng := workload.NewRNG(seed*31 + 7)
+		for trial := 0; trial < 8; trial++ {
+			set := workload.DestSet(rng, 64, 23)
+			for _, o := range []*Ordering{poc, cco} {
+				chain := o.Chain(set[0], set[1:])
+				c := Conflicts(tree.KBinomial(chain, 2), 3, stepsim.FPFS, r)
+				if o == poc {
+					pocTotal += c
+				} else {
+					ccoTotal += c
+				}
+			}
+		}
+	}
+	if pocTotal > ccoTotal*3/2+8 {
+		t.Errorf("POC schedule conflicts %d not competitive with CCO %d", pocTotal, ccoTotal)
+	}
+}

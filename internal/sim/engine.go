@@ -1,0 +1,178 @@
+// Package sim is a deterministic discrete-event simulator of packetized
+// multicast over switch-based wormhole networks with network-interface
+// (NI) support, in continuous time (microseconds).
+//
+// The model follows the paper's cost structure:
+//
+//   - the source host pays the software start-up overhead t_s once to move
+//     the message into its NI;
+//   - every packet copy costs the sending NI t_ns of injection overhead
+//     (NIs are serial servers);
+//   - a packet then occupies its route's directed channels wormhole-style:
+//     channel i of the path is held during [T + i*routerDelay,
+//     T + i*routerDelay + wireTime], where T is the earliest time every
+//     channel on the path is free (contention = waiting for the
+//     latest-freed channel);
+//   - the receiving NI pays t_nr per packet;
+//   - each destination host pays the software receive overhead t_r once,
+//     after its last packet arrives.
+//
+// Forwarding at intermediate nodes follows one of the three disciplines of
+// the paper: smart FPFS, smart FCFS, or conventional host-level
+// store-and-forward. NI buffer residency is tracked per node so the
+// Section 3.3.2 buffer-requirement comparison can be measured rather than
+// merely derived.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/routing"
+)
+
+// Params holds the system and technology constants. All times are in
+// microseconds, sizes in bytes.
+type Params struct {
+	THostSend   float64 // t_s: host software send start-up overhead
+	THostRecv   float64 // t_r: host software receive overhead
+	TNISend     float64 // t_ns: NI overhead to inject one packet copy
+	TNIRecv     float64 // t_nr: NI overhead to receive one packet
+	PacketBytes int     // fixed packet size
+	LinkBytesUS float64 // link bandwidth in bytes per microsecond
+	RouterDelay float64 // per-hop switch latency
+	// NIPorts is the number of packet copies a network interface can have
+	// in flight concurrently (independent injection DMA engines). Zero
+	// means 1, the paper's model: a serial coprocessor whose per-copy cost
+	// t_ns is exactly what makes tree fanout expensive. Values > 1 model
+	// hypothetical multi-engine NIs (see the abl-ports experiment).
+	NIPorts int
+}
+
+// Ports returns the effective concurrent-injection count (min 1).
+func (p Params) Ports() int {
+	if p.NIPorts < 1 {
+		return 1
+	}
+	return p.NIPorts
+}
+
+// DefaultParams mirrors the paper's Section 5.2 defaults: t_s = t_r =
+// 12.5 us, 64-byte packets, t_ns = 3.0 us, t_nr = 2.0 us. Link bandwidth
+// and router delay reflect Myrinet-class hardware of the era (160 MB/s,
+// 0.2 us per switch).
+func DefaultParams() Params {
+	return Params{
+		THostSend:   12.5,
+		THostRecv:   12.5,
+		TNISend:     3.0,
+		TNIRecv:     2.0,
+		PacketBytes: 64,
+		LinkBytesUS: 160,
+		RouterDelay: 0.2,
+	}
+}
+
+// WireTime returns the serialization time of one packet on a link.
+func (p Params) WireTime() float64 {
+	if p.LinkBytesUS <= 0 {
+		panic("sim: non-positive link bandwidth")
+	}
+	return float64(p.PacketBytes) / p.LinkBytesUS
+}
+
+// StepTime returns the paper's t_step: the NI-to-NI cost of one
+// uncontended packet transmission across an average route of the given hop
+// count: t_ns + propagation + t_nr.
+func (p Params) StepTime(hops int) float64 {
+	return p.TNISend + float64(hops)*p.RouterDelay + p.WireTime() + p.TNIRecv
+}
+
+// Validate reports the first invalid field.
+func (p Params) Validate() error {
+	switch {
+	case p.THostSend < 0 || p.THostRecv < 0 || p.TNISend <= 0 || p.TNIRecv < 0:
+		return fmt.Errorf("sim: negative overhead in %+v", p)
+	case p.PacketBytes <= 0:
+		return fmt.Errorf("sim: packet size %d", p.PacketBytes)
+	case p.LinkBytesUS <= 0:
+		return fmt.Errorf("sim: link bandwidth %f", p.LinkBytesUS)
+	case p.RouterDelay < 0:
+		return fmt.Errorf("sim: router delay %f", p.RouterDelay)
+	}
+	return nil
+}
+
+// event is one scheduled callback.
+type event struct {
+	at  float64
+	seq int64 // FIFO tiebreaker for determinism
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Engine is the event loop plus channel state.
+type Engine struct {
+	now      float64
+	seq      int64
+	events   eventHeap
+	chanFree []float64 // directed channel -> earliest free time
+}
+
+// NewEngine creates an engine for a network with the given channel count.
+func NewEngine(numChannels int) *Engine {
+	return &Engine{chanFree: make([]float64, numChannels)}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() float64 { return e.now }
+
+// At schedules fn at absolute time t (>= now).
+func (e *Engine) At(t float64, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling into the past: %f < %f", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+}
+
+// Run processes events until none remain, returning the final time.
+func (e *Engine) Run() float64 {
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.at
+		ev.fn()
+	}
+	return e.now
+}
+
+// ReservePath books every channel of the route for one packet starting no
+// earlier than earliest: channel i is held [T+i*router, T+i*router+wire],
+// with T minimal such that all holds begin at or after each channel's free
+// time. It returns T and the packet's full arrival time at the far NI
+// input (T + lastOffset + wire).
+func (e *Engine) ReservePath(route routing.Route, earliest, wire, router float64) (start, arrival float64) {
+	T := earliest
+	for i, c := range route.Channels {
+		if need := e.chanFree[c] - float64(i)*router; need > T {
+			T = need
+		}
+	}
+	for i, c := range route.Channels {
+		e.chanFree[c] = T + float64(i)*router + wire
+	}
+	last := float64(len(route.Channels)-1) * router
+	return T, T + last + wire
+}

@@ -1,0 +1,346 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/routing"
+	"repro/internal/stepsim"
+	"repro/internal/tree"
+)
+
+// Session is one multicast operation in a concurrent workload: a tree, a
+// message length, and the time the source host initiates the send.
+type Session struct {
+	Tree    *tree.Tree
+	Packets int
+	Start   float64
+}
+
+// SessionResult reports one session of a concurrent run.
+type SessionResult struct {
+	// Latency is from the session's Start to the last destination host
+	// having received the complete message.
+	Latency float64
+	// NIDone / HostDone are per destination host (see Result).
+	NIDone   map[int]float64
+	HostDone map[int]float64
+}
+
+// ConcurrentResult is the outcome of a multi-session simulation. Network
+// interfaces and channels are shared: sessions contend for both.
+type ConcurrentResult struct {
+	Sessions []SessionResult
+	// MaxBuffered is the peak packets resident per forwarding node,
+	// summed across sessions (the NI memory is one pool).
+	MaxBuffered map[int]int
+	// ChannelWait and Sends aggregate over all sessions.
+	ChannelWait float64
+	Sends       int
+	// Makespan is when the last session's last destination completed.
+	Makespan float64
+}
+
+// MaxLatency returns the largest per-session latency.
+func (r *ConcurrentResult) MaxLatency() float64 {
+	max := 0.0
+	for _, s := range r.Sessions {
+		max = math.Max(max, s.Latency)
+	}
+	return max
+}
+
+// TraceEvent records one simulator action for offline inspection
+// (package trace renders timelines from these).
+type TraceEvent struct {
+	// Kind is "inject" (a packet copy enters the network), "deliver" (a
+	// packet is fully received by an NI), or "done" (a destination host
+	// has the complete message).
+	Kind    string
+	Time    float64 // when the action happened (wire entry / NI receipt / host completion)
+	Host    int     // acting host (sender for inject, receiver otherwise)
+	Peer    int     // the other endpoint (inject/deliver); -1 for done
+	Session int
+	Packet  int     // -1 for done
+	Wait    float64 // inject only: time spent waiting for busy channels
+}
+
+// sessOp is one pending injection at an NI: session s, packet to child.
+type sessOp struct {
+	sess   int
+	to     int
+	packet int
+}
+
+// sessNode is the per-(session, host) protocol state.
+type sessNode struct {
+	arrivals   []float64
+	received   int
+	copiesLeft []int
+}
+
+// hostNI is the shared per-host network interface: one send queue and one
+// buffer pool across sessions.
+type hostNI struct {
+	queue       []sessOp
+	inFlight    int // copies currently being injected (bounded by Params.Ports)
+	buffered    int
+	maxBuffered int
+	sess        map[int]*sessNode
+}
+
+type concSim struct {
+	eng    *Engine
+	p      Params
+	disc   stepsim.Discipline
+	router routing.Router
+	wire   float64
+	specs  []Session
+	nis    map[int]*hostNI
+	routes map[[2]int]routing.Route
+	res    *ConcurrentResult
+	trace  *[]TraceEvent
+}
+
+// Concurrent simulates several multicast sessions sharing one network and
+// one NI per host. Trees may overlap arbitrarily; a host can be source in
+// one session and destination or intermediate in others.
+func Concurrent(router routing.Router, sessions []Session, p Params, disc stepsim.Discipline) *ConcurrentResult {
+	res, _ := ConcurrentTraced(router, sessions, p, disc, false)
+	return res
+}
+
+// ConcurrentTraced is Concurrent with optional event recording. With
+// traced=false it returns a nil event slice at zero cost.
+func ConcurrentTraced(router routing.Router, sessions []Session, p Params, disc stepsim.Discipline, traced bool) (*ConcurrentResult, []TraceEvent) {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	if len(sessions) == 0 {
+		panic("sim: no sessions")
+	}
+	s := &concSim{
+		eng:    NewEngine(router.Network().NumChannels()),
+		p:      p,
+		disc:   disc,
+		router: router,
+		wire:   p.WireTime(),
+		specs:  sessions,
+		nis:    map[int]*hostNI{},
+		routes: map[[2]int]routing.Route{},
+		res: &ConcurrentResult{
+			Sessions:    make([]SessionResult, len(sessions)),
+			MaxBuffered: map[int]int{},
+		},
+	}
+	var events []TraceEvent
+	if traced {
+		s.trace = &events
+	}
+	for si, sess := range sessions {
+		if sess.Packets < 1 {
+			panic(fmt.Sprintf("sim: session %d has %d packets", si, sess.Packets))
+		}
+		if sess.Start < 0 {
+			panic(fmt.Sprintf("sim: session %d starts at %f", si, sess.Start))
+		}
+		s.res.Sessions[si] = SessionResult{
+			NIDone:   map[int]float64{},
+			HostDone: map[int]float64{},
+		}
+		for _, v := range sess.Tree.Nodes() {
+			ni := s.ni(v)
+			ni.sess[si] = &sessNode{
+				arrivals:   make([]float64, sess.Packets),
+				copiesLeft: make([]int, sess.Packets),
+			}
+			for _, c := range sess.Tree.Children(v) {
+				key := [2]int{v, c}
+				if _, ok := s.routes[key]; !ok {
+					s.routes[key] = router.Route(v, c)
+				}
+			}
+		}
+	}
+
+	for si := range sessions {
+		si := si
+		sess := sessions[si]
+		root := sess.Tree.Root()
+		s.eng.At(sess.Start+p.THostSend, func() {
+			ni := s.ni(root)
+			sn := ni.sess[si]
+			for j := 0; j < sess.Packets; j++ {
+				sn.arrivals[j] = s.eng.Now()
+				sn.received++
+			}
+			if deg := len(sess.Tree.Children(root)); deg > 0 {
+				ni.buffered += sess.Packets
+				if ni.buffered > ni.maxBuffered {
+					ni.maxBuffered = ni.buffered
+				}
+				for j := 0; j < sess.Packets; j++ {
+					sn.copiesLeft[j] = deg
+				}
+				s.enqueue(si, root, allPackets(sess.Packets))
+			}
+		})
+	}
+	s.eng.Run()
+
+	for si, sess := range sessions {
+		for _, v := range sess.Tree.Nodes() {
+			if got := s.nis[v].sess[si].received; got != sess.Packets {
+				panic(fmt.Sprintf("sim: session %d node %d received %d of %d packets",
+					si, v, got, sess.Packets))
+			}
+		}
+		last := 0.0
+		for _, t := range s.res.Sessions[si].HostDone {
+			last = math.Max(last, t)
+		}
+		s.res.Sessions[si].Latency = last - sess.Start
+		s.res.Makespan = math.Max(s.res.Makespan, last)
+	}
+	for v, ni := range s.nis {
+		forwarder := false
+		for si, sess := range sessions {
+			if ni.sess[si] != nil && len(sess.Tree.Children(v)) > 0 && sess.Tree.Contains(v) {
+				forwarder = true
+			}
+		}
+		if forwarder {
+			s.res.MaxBuffered[v] = ni.maxBuffered
+		}
+	}
+	return s.res, events
+}
+
+func (s *concSim) ni(h int) *hostNI {
+	ni, ok := s.nis[h]
+	if !ok {
+		ni = &hostNI{sess: map[int]*sessNode{}}
+		s.nis[h] = ni
+	}
+	return ni
+}
+
+// enqueue appends forwarding ops for the given packets of session si at
+// node v per the discipline, then kicks the NI.
+func (s *concSim) enqueue(si, v int, packets []int) {
+	ni := s.nis[v]
+	sn := ni.sess[si]
+	children := s.specs[si].Tree.Children(v)
+	m := s.specs[si].Packets
+	switch s.disc {
+	case stepsim.FPFS, stepsim.Conventional:
+		for _, j := range packets {
+			for _, c := range children {
+				ni.queue = append(ni.queue, sessOp{sess: si, to: c, packet: j})
+			}
+		}
+	case stepsim.FCFS:
+		for _, j := range packets {
+			ni.queue = append(ni.queue, sessOp{sess: si, to: children[0], packet: j})
+		}
+		if sn.received == m {
+			for _, c := range children[1:] {
+				for j := 0; j < m; j++ {
+					ni.queue = append(ni.queue, sessOp{sess: si, to: c, packet: j})
+				}
+			}
+		}
+	default:
+		panic(fmt.Sprintf("sim: unknown discipline %v", s.disc))
+	}
+	s.pump(v)
+}
+
+func (s *concSim) pump(v int) {
+	ni := s.nis[v]
+	for ni.inFlight < s.p.Ports() && len(ni.queue) > 0 {
+		s.startOne(v, ni)
+	}
+}
+
+func (s *concSim) startOne(v int, ni *hostNI) {
+	o := ni.queue[0]
+	ni.queue = ni.queue[1:]
+	ni.inFlight++
+	route := s.routes[[2]int{v, o.to}]
+	earliest := s.eng.Now() + s.p.TNISend
+	start, arrive := s.eng.ReservePath(route, earliest, s.wire, s.p.RouterDelay)
+	s.res.ChannelWait += start - earliest
+	s.res.Sends++
+	if s.trace != nil {
+		*s.trace = append(*s.trace, TraceEvent{
+			Kind: "inject", Time: start, Host: v, Peer: o.to,
+			Session: o.sess, Packet: o.packet, Wait: start - earliest,
+		})
+	}
+	sn := ni.sess[o.sess]
+	s.eng.At(start+s.wire, func() {
+		ni.inFlight--
+		sn.copiesLeft[o.packet]--
+		if sn.copiesLeft[o.packet] == 0 {
+			ni.buffered--
+		}
+		s.pump(v)
+	})
+	s.eng.At(arrive+s.p.TNIRecv, func() { s.deliver(o.sess, o.to, o.packet) })
+}
+
+func (s *concSim) deliver(si, dst, pkt int) {
+	ni := s.nis[dst]
+	sn := ni.sess[si]
+	sn.arrivals[pkt] = s.eng.Now()
+	sn.received++
+	sess := s.specs[si]
+	children := sess.Tree.Children(dst)
+	isForwarder := len(children) > 0
+	if s.trace != nil {
+		parent, _ := sess.Tree.Parent(dst)
+		*s.trace = append(*s.trace, TraceEvent{
+			Kind: "deliver", Time: s.eng.Now(), Host: dst, Peer: parent,
+			Session: si, Packet: pkt,
+		})
+	}
+
+	if isForwarder {
+		sn.copiesLeft[pkt] = len(children)
+		ni.buffered++
+		if ni.buffered > ni.maxBuffered {
+			ni.maxBuffered = ni.buffered
+		}
+	}
+	if sn.received == sess.Packets {
+		s.res.Sessions[si].NIDone[dst] = s.eng.Now()
+		s.res.Sessions[si].HostDone[dst] = s.eng.Now() + s.p.THostRecv
+		if s.trace != nil {
+			*s.trace = append(*s.trace, TraceEvent{
+				Kind: "done", Time: s.eng.Now() + s.p.THostRecv, Host: dst,
+				Peer: -1, Session: si, Packet: -1,
+			})
+		}
+	}
+	if !isForwarder {
+		return
+	}
+	switch s.disc {
+	case stepsim.FPFS, stepsim.FCFS:
+		s.enqueue(si, dst, []int{pkt})
+	case stepsim.Conventional:
+		if sn.received == sess.Packets {
+			base := s.eng.Now() + s.p.THostRecv
+			for i := range children {
+				c := children[i]
+				s.eng.At(base+float64(i+1)*s.p.THostSend, func() {
+					for j := 0; j < sess.Packets; j++ {
+						ni.queue = append(ni.queue, sessOp{sess: si, to: c, packet: j})
+					}
+					s.pump(dst)
+				})
+			}
+		}
+	}
+}

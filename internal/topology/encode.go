@@ -1,0 +1,125 @@
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// networkJSON is the wire form of a Network.
+type networkJSON struct {
+	Hosts    int        `json:"hosts"`
+	Switches int        `json:"switches"`
+	Ports    int        `json:"ports,omitempty"`
+	Links    []linkJSON `json:"links"`
+}
+
+type linkJSON struct {
+	A string `json:"a"`
+	B string `json:"b"`
+}
+
+// MarshalJSON encodes the network topology.
+func (n *Network) MarshalJSON() ([]byte, error) {
+	out := networkJSON{Hosts: n.numHosts, Switches: n.numSwitches, Ports: n.switchPorts}
+	for _, l := range n.links {
+		out.Links = append(out.Links, linkJSON{A: l.A.String(), B: l.B.String()})
+	}
+	return json.Marshal(out)
+}
+
+// DecodeNetwork reconstructs a Network from its JSON encoding.
+func DecodeNetwork(data []byte) (*Network, error) {
+	var in networkJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("topology: decode: %w", err)
+	}
+	if in.Hosts < 1 || in.Switches < 1 {
+		return nil, fmt.Errorf("topology: decode: invalid sizes hosts=%d switches=%d", in.Hosts, in.Switches)
+	}
+	b := newBuilder(in.Hosts, in.Switches, in.Ports)
+	hostSeen := make([]bool, in.Hosts)
+	for _, lj := range in.Links {
+		a, err := parseNode(lj.A, in.Hosts, in.Switches)
+		if err != nil {
+			return nil, err
+		}
+		c, err := parseNode(lj.B, in.Hosts, in.Switches)
+		if err != nil {
+			return nil, err
+		}
+		if a.Kind == HostNode && c.Kind == HostNode {
+			return nil, fmt.Errorf("topology: decode: host-host link %s-%s", lj.A, lj.B)
+		}
+		// Normalize so host links register via attachHost.
+		if c.Kind == HostNode {
+			a, c = c, a
+		}
+		if a.Kind == HostNode {
+			if hostSeen[a.Index] {
+				return nil, fmt.Errorf("topology: decode: host %d attached twice", a.Index)
+			}
+			hostSeen[a.Index] = true
+			b.attachHost(a.Index, c.Index)
+		} else {
+			b.addLink(a, c)
+		}
+	}
+	for h, ok := range hostSeen {
+		if !ok {
+			return nil, fmt.Errorf("topology: decode: host %d has no link", h)
+		}
+	}
+	return b.net, nil
+}
+
+func parseNode(s string, hosts, switches int) (Node, error) {
+	if len(s) < 2 {
+		return Node{}, fmt.Errorf("topology: decode: bad node %q", s)
+	}
+	var idx int
+	if _, err := fmt.Sscanf(s[1:], "%d", &idx); err != nil {
+		return Node{}, fmt.Errorf("topology: decode: bad node %q", s)
+	}
+	switch s[0] {
+	case 'h':
+		if idx < 0 || idx >= hosts {
+			return Node{}, fmt.Errorf("topology: decode: host %d out of range", idx)
+		}
+		return Host(idx), nil
+	case 's':
+		if idx < 0 || idx >= switches {
+			return Node{}, fmt.Errorf("topology: decode: switch %d out of range", idx)
+		}
+		return Switch(idx), nil
+	}
+	return Node{}, fmt.Errorf("topology: decode: bad node %q", s)
+}
+
+// DOT renders the topology in Graphviz format, hosts as boxes and switches
+// as circles, for inspection of generated networks.
+func (n *Network) DOT() string {
+	var sb strings.Builder
+	sb.WriteString("graph network {\n")
+	sb.WriteString("  node [fontsize=10];\n")
+	for s := 0; s < n.numSwitches; s++ {
+		fmt.Fprintf(&sb, "  s%d [shape=circle];\n", s)
+	}
+	for h := 0; h < n.numHosts; h++ {
+		fmt.Fprintf(&sb, "  h%d [shape=box];\n", h)
+	}
+	links := append([]Link(nil), n.links...)
+	sort.Slice(links, func(i, j int) bool { return links[i].ID < links[j].ID })
+	for _, l := range links {
+		fmt.Fprintf(&sb, "  %s -- %s;\n", l.A, l.B)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// Summary returns a one-line description like
+// "irregular: 64 hosts, 16 switches, 96 links".
+func (n *Network) Summary() string {
+	return fmt.Sprintf("%d hosts, %d switches, %d links", n.numHosts, n.numSwitches, len(n.links))
+}

@@ -1,0 +1,78 @@
+package topology
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestWithoutLinkRemovesExactlyOne(t *testing.T) {
+	net := Irregular(DefaultIrregular(), workload.NewRNG(1))
+	// Pick a switch-switch link.
+	var victim Link
+	for _, l := range net.Links() {
+		if l.A.Kind == SwitchNode && l.B.Kind == SwitchNode {
+			victim = l
+			break
+		}
+	}
+	degA := len(net.SwitchLinks(victim.A.Index))
+	faulty := net.WithoutLink(victim.ID)
+	if len(faulty.Links()) != len(net.Links())-1 {
+		t.Fatalf("link count %d, want %d", len(faulty.Links()), len(net.Links())-1)
+	}
+	if got := len(faulty.SwitchLinks(victim.A.Index)); got != degA-1 {
+		t.Errorf("endpoint degree %d, want %d", got, degA-1)
+	}
+	// Host attachments unchanged.
+	for h := 0; h < net.NumHosts(); h++ {
+		if faulty.HostSwitch(h) != net.HostSwitch(h) {
+			t.Fatalf("host %d moved switches", h)
+		}
+	}
+	// Original untouched.
+	if len(net.Links()) != len(faulty.Links())+1 {
+		t.Error("original network mutated")
+	}
+}
+
+func TestWithoutLinkRejectsHostLinks(t *testing.T) {
+	net := Irregular(DefaultIrregular(), workload.NewRNG(2))
+	hostLink := net.HostLink(0)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic removing a host link")
+		}
+	}()
+	net.WithoutLink(hostLink.ID)
+}
+
+func TestWithoutLinkOutOfRange(t *testing.T) {
+	net := Irregular(DefaultIrregular(), workload.NewRNG(3))
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for bad link id")
+		}
+	}()
+	net.WithoutLink(-1)
+}
+
+func TestWithoutLinkChannelIDsDense(t *testing.T) {
+	net := Irregular(DefaultIrregular(), workload.NewRNG(4))
+	var victim Link
+	for _, l := range net.Links() {
+		if l.A.Kind == SwitchNode && l.B.Kind == SwitchNode {
+			victim = l
+			break
+		}
+	}
+	faulty := net.WithoutLink(victim.ID)
+	for i, l := range faulty.Links() {
+		if l.ID != i {
+			t.Fatalf("link IDs not dense after removal: links[%d].ID = %d", i, l.ID)
+		}
+	}
+	if faulty.NumChannels() != 2*len(faulty.Links()) {
+		t.Error("channel count inconsistent")
+	}
+}

@@ -1,0 +1,467 @@
+// Package topology models switch-based interconnection networks: hosts
+// (processors with network interfaces) attached to switches that are wired
+// to each other by bidirectional links.
+//
+// Two families are provided, matching the paper's evaluation context:
+//
+//   - Irregular: randomly cross-wired switch networks, like the 64-host /
+//     16 eight-port-switch testbed of Section 5.2;
+//   - Cube: k-ary n-cubes (one host per switch, wrap-around links), the
+//     regular networks on which dimension-ordered chains are defined.
+//
+// Every bidirectional link carries two directed channels; contention is
+// tracked per channel by the routing and simulation packages.
+package topology
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/workload"
+)
+
+// NodeKind distinguishes host and switch endpoints.
+type NodeKind int
+
+const (
+	// HostNode is a processor with a network interface.
+	HostNode NodeKind = iota
+	// SwitchNode is a wormhole switch.
+	SwitchNode
+)
+
+// String returns "host" or "switch".
+func (k NodeKind) String() string {
+	if k == HostNode {
+		return "host"
+	}
+	return "switch"
+}
+
+// Node identifies an endpoint: a host or a switch index.
+type Node struct {
+	Kind  NodeKind
+	Index int
+}
+
+// String formats the node as h<i> or s<i>.
+func (n Node) String() string {
+	if n.Kind == HostNode {
+		return fmt.Sprintf("h%d", n.Index)
+	}
+	return fmt.Sprintf("s%d", n.Index)
+}
+
+// Host and Switch are convenience constructors.
+func Host(i int) Node   { return Node{HostNode, i} }
+func Switch(i int) Node { return Node{SwitchNode, i} }
+
+// Link is one bidirectional cable between two endpoints. Its two directed
+// channels have IDs 2*ID (A→B) and 2*ID+1 (B→A).
+type Link struct {
+	ID   int
+	A, B Node
+}
+
+// Channel returns the directed channel ID for traversal from `from` across
+// this link. It panics if from is not an endpoint of the link.
+func (l Link) Channel(from Node) int {
+	switch from {
+	case l.A:
+		return 2 * l.ID
+	case l.B:
+		return 2*l.ID + 1
+	default:
+		panic(fmt.Sprintf("topology: %v is not an endpoint of link %d (%v-%v)", from, l.ID, l.A, l.B))
+	}
+}
+
+// Other returns the endpoint opposite to from.
+func (l Link) Other(from Node) Node {
+	switch from {
+	case l.A:
+		return l.B
+	case l.B:
+		return l.A
+	default:
+		panic(fmt.Sprintf("topology: %v is not an endpoint of link %d", from, l.ID))
+	}
+}
+
+// Network is an immutable host/switch interconnect.
+type Network struct {
+	numHosts    int
+	numSwitches int
+	switchPorts int
+	links       []Link
+	hostLink    []int   // host index -> link ID of its NI cable
+	hostSwitch  []int   // host index -> switch index it attaches to
+	switchLinks [][]int // switch index -> IDs of incident links (all kinds)
+	switchHosts [][]int // switch index -> attached host indices (ascending)
+}
+
+// NumHosts returns the processor count.
+func (n *Network) NumHosts() int { return n.numHosts }
+
+// NumSwitches returns the switch count.
+func (n *Network) NumSwitches() int { return n.numSwitches }
+
+// SwitchPorts returns the per-switch port budget (0 if unconstrained).
+func (n *Network) SwitchPorts() int { return n.switchPorts }
+
+// Links returns all links. The slice is owned by the network.
+func (n *Network) Links() []Link { return n.links }
+
+// NumChannels returns the number of directed channels (2 per link).
+func (n *Network) NumChannels() int { return 2 * len(n.links) }
+
+// Link returns the link with the given ID.
+func (n *Network) Link(id int) Link {
+	if id < 0 || id >= len(n.links) {
+		panic(fmt.Sprintf("topology: link %d out of range [0,%d)", id, len(n.links)))
+	}
+	return n.links[id]
+}
+
+// HostSwitch returns the switch a host is attached to.
+func (n *Network) HostSwitch(h int) int {
+	n.checkHost(h)
+	return n.hostSwitch[h]
+}
+
+// HostLink returns the link connecting host h to its switch.
+func (n *Network) HostLink(h int) Link {
+	n.checkHost(h)
+	return n.links[n.hostLink[h]]
+}
+
+// SwitchHosts returns the hosts attached to switch s in ascending order.
+func (n *Network) SwitchHosts(s int) []int {
+	n.checkSwitch(s)
+	return n.switchHosts[s]
+}
+
+// SwitchLinks returns the IDs of all links incident to switch s.
+func (n *Network) SwitchLinks(s int) []int {
+	n.checkSwitch(s)
+	return n.switchLinks[s]
+}
+
+// SwitchNeighbors returns the distinct switches adjacent to s, ascending.
+func (n *Network) SwitchNeighbors(s int) []int {
+	n.checkSwitch(s)
+	seen := map[int]bool{}
+	var out []int
+	for _, lid := range n.switchLinks[s] {
+		other := n.links[lid].Other(Switch(s))
+		if other.Kind == SwitchNode && !seen[other.Index] {
+			seen[other.Index] = true
+			out = append(out, other.Index)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// SwitchLinkBetween returns the link joining switches a and b, and whether
+// one exists. If parallel links exist, the lowest-ID one is returned.
+func (n *Network) SwitchLinkBetween(a, b int) (Link, bool) {
+	n.checkSwitch(a)
+	n.checkSwitch(b)
+	best, found := Link{}, false
+	for _, lid := range n.switchLinks[a] {
+		l := n.links[lid]
+		if l.Other(Switch(a)) == Switch(b) && (!found || l.ID < best.ID) {
+			best, found = l, true
+		}
+	}
+	return best, found
+}
+
+// Connected reports whether the switch graph is connected (hosts are always
+// attached to exactly one switch, so this implies full reachability).
+func (n *Network) Connected() bool {
+	if n.numSwitches == 0 {
+		return false
+	}
+	seen := make([]bool, n.numSwitches)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, nb := range n.SwitchNeighbors(s) {
+			if !seen[nb] {
+				seen[nb] = true
+				count++
+				stack = append(stack, nb)
+			}
+		}
+	}
+	return count == n.numSwitches
+}
+
+func (n *Network) checkHost(h int) {
+	if h < 0 || h >= n.numHosts {
+		panic(fmt.Sprintf("topology: host %d out of range [0,%d)", h, n.numHosts))
+	}
+}
+
+func (n *Network) checkSwitch(s int) {
+	if s < 0 || s >= n.numSwitches {
+		panic(fmt.Sprintf("topology: switch %d out of range [0,%d)", s, n.numSwitches))
+	}
+}
+
+// builder accumulates links and produces an immutable Network.
+type builder struct {
+	net *Network
+}
+
+func newBuilder(hosts, switches, ports int) *builder {
+	return &builder{net: &Network{
+		numHosts:    hosts,
+		numSwitches: switches,
+		switchPorts: ports,
+		hostLink:    make([]int, hosts),
+		hostSwitch:  make([]int, hosts),
+		switchLinks: make([][]int, switches),
+		switchHosts: make([][]int, switches),
+	}}
+}
+
+func (b *builder) addLink(a, c Node) int {
+	id := len(b.net.links)
+	b.net.links = append(b.net.links, Link{ID: id, A: a, B: c})
+	for _, e := range []Node{a, c} {
+		if e.Kind == SwitchNode {
+			b.net.switchLinks[e.Index] = append(b.net.switchLinks[e.Index], id)
+		}
+	}
+	return id
+}
+
+func (b *builder) attachHost(h, s int) {
+	id := b.addLink(Host(h), Switch(s))
+	b.net.hostLink[h] = id
+	b.net.hostSwitch[h] = s
+	b.net.switchHosts[s] = append(b.net.switchHosts[s], h)
+}
+
+// IrregularConfig parameterizes the random irregular network generator.
+type IrregularConfig struct {
+	Hosts    int // number of processors (paper: 64)
+	Switches int // number of switches (paper: 16)
+	Ports    int // ports per switch (paper: 8)
+	// ExtraDegree caps inter-switch links per switch; 0 means "whatever the
+	// port budget allows after hosts are attached".
+	ExtraDegree int
+}
+
+// DefaultIrregular is the paper's Section 5.2 testbed: 64 hosts on 16
+// eight-port switches (4 hosts per switch, 4 ports for switch-switch
+// wiring).
+func DefaultIrregular() IrregularConfig {
+	return IrregularConfig{Hosts: 64, Switches: 16, Ports: 8}
+}
+
+// Irregular generates a random connected irregular network. Hosts are
+// distributed round-robin over switches; remaining switch ports are wired
+// randomly: first a random spanning tree guarantees connectivity, then
+// surplus ports are paired off subject to the port budget (no self-links,
+// no parallel links). Generation is fully determined by rng.
+func Irregular(cfg IrregularConfig, rng *workload.RNG) *Network {
+	if cfg.Hosts < 1 || cfg.Switches < 1 || cfg.Ports < 1 {
+		panic(fmt.Sprintf("topology: invalid config %+v", cfg))
+	}
+	hostsPer := (cfg.Hosts + cfg.Switches - 1) / cfg.Switches
+	if hostsPer >= cfg.Ports {
+		panic(fmt.Sprintf("topology: %d hosts on %d switches exceeds %d-port budget",
+			cfg.Hosts, cfg.Switches, cfg.Ports))
+	}
+	b := newBuilder(cfg.Hosts, cfg.Switches, cfg.Ports)
+	for h := 0; h < cfg.Hosts; h++ {
+		b.attachHost(h, h%cfg.Switches)
+	}
+	free := make([]int, cfg.Switches) // remaining port budget per switch
+	maxDeg := cfg.Ports
+	if cfg.ExtraDegree > 0 {
+		maxDeg = cfg.ExtraDegree // interpreted as inter-switch degree cap
+	}
+	for s := 0; s < cfg.Switches; s++ {
+		free[s] = cfg.Ports - len(b.net.switchHosts[s])
+		if cfg.ExtraDegree > 0 && free[s] > maxDeg {
+			free[s] = maxDeg
+		}
+	}
+	if cfg.Switches > 1 {
+		// Random spanning tree: connect each switch (in random order) to a
+		// random already-connected switch with port budget left. Budgets
+		// are >= 1 per switch by the hostsPer check, so this always works,
+		// though a hub switch may exhaust its ports; fall back to any
+		// connected switch with a free port.
+		order := rng.Perm(cfg.Switches)
+		connected := []int{order[0]}
+		inTree := make([]bool, cfg.Switches)
+		inTree[order[0]] = true
+		for _, s := range order[1:] {
+			// Pick a random connected partner with a free port.
+			cands := make([]int, 0, len(connected))
+			for _, c := range connected {
+				if free[c] > 0 {
+					cands = append(cands, c)
+				}
+			}
+			if len(cands) == 0 {
+				panic("topology: spanning tree ran out of ports (config too tight)")
+			}
+			p := cands[rng.Intn(len(cands))]
+			b.addLink(Switch(s), Switch(p))
+			free[s]--
+			free[p]--
+			connected = append(connected, s)
+			inTree[s] = true
+		}
+		// Wire surplus ports in random pairs, rejecting self and parallel
+		// links. Bounded retries keep generation total.
+		hasLink := map[[2]int]bool{}
+		for _, l := range b.net.links {
+			if l.A.Kind == SwitchNode && l.B.Kind == SwitchNode {
+				hasLink[pairKey(l.A.Index, l.B.Index)] = true
+			}
+		}
+		for tries := 0; tries < 64*cfg.Switches; tries++ {
+			var pool []int
+			for s := 0; s < cfg.Switches; s++ {
+				if free[s] > 0 {
+					pool = append(pool, s)
+				}
+			}
+			if len(pool) < 2 {
+				break
+			}
+			a := pool[rng.Intn(len(pool))]
+			c := pool[rng.Intn(len(pool))]
+			if a == c || hasLink[pairKey(a, c)] {
+				continue
+			}
+			b.addLink(Switch(a), Switch(c))
+			hasLink[pairKey(a, c)] = true
+			free[a]--
+			free[c]--
+		}
+	}
+	return b.net
+}
+
+func pairKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+// Cube builds a k-ary n-cube: arity^dims switches, each with one attached
+// host, and wrap-around links in every dimension (for arity 2 a single link
+// per dimension, to avoid parallel links).
+func Cube(arity, dims int) *Network {
+	if arity < 2 || dims < 1 {
+		panic(fmt.Sprintf("topology: invalid cube %d-ary %d-cube", arity, dims))
+	}
+	n := 1
+	for i := 0; i < dims; i++ {
+		n *= arity
+		if n > 1<<20 {
+			panic("topology: cube too large")
+		}
+	}
+	b := newBuilder(n, n, 0)
+	for h := 0; h < n; h++ {
+		b.attachHost(h, h)
+	}
+	stride := 1
+	for d := 0; d < dims; d++ {
+		for s := 0; s < n; s++ {
+			digit := (s / stride) % arity
+			next := s + stride
+			if digit == arity-1 {
+				next = s - (arity-1)*stride // wrap-around
+				if arity == 2 {
+					continue // +1 neighbor already covers the pair
+				}
+			}
+			b.addLink(Switch(s), Switch(next))
+		}
+		stride *= arity
+	}
+	return b.net
+}
+
+// CubeCoord returns the per-dimension coordinates of switch s in an
+// arity^dims cube or mesh (least significant dimension first).
+func CubeCoord(s, arity, dims int) []int {
+	coord := make([]int, dims)
+	for d := 0; d < dims; d++ {
+		coord[d] = s % arity
+		s /= arity
+	}
+	return coord
+}
+
+// WithoutLink returns a copy of the network with one switch-switch link
+// removed — the fault-injection primitive. Removing a host's only link is
+// rejected (the host would be unreachable by construction). Link IDs are
+// reassigned densely in the copy; host attachments are preserved.
+func (n *Network) WithoutLink(id int) *Network {
+	if id < 0 || id >= len(n.links) {
+		panic(fmt.Sprintf("topology: link %d out of range [0,%d)", id, len(n.links)))
+	}
+	victim := n.links[id]
+	if victim.A.Kind == HostNode || victim.B.Kind == HostNode {
+		panic(fmt.Sprintf("topology: cannot fail host link %d (%v-%v)", id, victim.A, victim.B))
+	}
+	b := newBuilder(n.numHosts, n.numSwitches, n.switchPorts)
+	for _, l := range n.links {
+		if l.ID == id {
+			continue
+		}
+		if l.A.Kind == HostNode {
+			b.attachHost(l.A.Index, l.B.Index)
+		} else if l.B.Kind == HostNode {
+			b.attachHost(l.B.Index, l.A.Index)
+		} else {
+			b.addLink(l.A, l.B)
+		}
+	}
+	return b.net
+}
+
+// Mesh builds an arity^dims mesh: like Cube but without wrap-around links,
+// so border switches have fewer neighbors. One host per switch.
+func Mesh(arity, dims int) *Network {
+	if arity < 2 || dims < 1 {
+		panic(fmt.Sprintf("topology: invalid %d-ary %d-mesh", arity, dims))
+	}
+	n := 1
+	for i := 0; i < dims; i++ {
+		n *= arity
+		if n > 1<<20 {
+			panic("topology: mesh too large")
+		}
+	}
+	b := newBuilder(n, n, 0)
+	for h := 0; h < n; h++ {
+		b.attachHost(h, h)
+	}
+	stride := 1
+	for d := 0; d < dims; d++ {
+		for s := 0; s < n; s++ {
+			if (s/stride)%arity < arity-1 {
+				b.addLink(Switch(s), Switch(s+stride))
+			}
+		}
+		stride *= arity
+	}
+	return b.net
+}

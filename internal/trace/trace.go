@@ -1,0 +1,167 @@
+// Package trace turns the simulator's event records into human-readable
+// artifacts: a per-host ASCII timeline of one multicast and aggregate
+// statistics (per-host injection counts, channel-wait breakdown). It is
+// wired into `mcastsim -timeline` and used by tests to validate schedule
+// structure end to end.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Stats aggregates a trace.
+type Stats struct {
+	Injections  map[int]int     // per sending host
+	Deliveries  map[int]int     // per receiving host
+	TotalWait   float64         // summed channel wait
+	WaitByHost  map[int]float64 // channel wait attributed to the sender
+	FirstInject float64
+	LastDone    float64
+}
+
+// Collect computes aggregate statistics over a trace.
+func Collect(events []sim.TraceEvent) *Stats {
+	s := &Stats{
+		Injections: map[int]int{},
+		Deliveries: map[int]int{},
+		WaitByHost: map[int]float64{},
+	}
+	first := true
+	for _, e := range events {
+		switch e.Kind {
+		case "inject":
+			s.Injections[e.Host]++
+			s.TotalWait += e.Wait
+			s.WaitByHost[e.Host] += e.Wait
+			if first || e.Time < s.FirstInject {
+				s.FirstInject = e.Time
+				first = false
+			}
+		case "deliver":
+			s.Deliveries[e.Host]++
+		case "done":
+			if e.Time > s.LastDone {
+				s.LastDone = e.Time
+			}
+		}
+	}
+	return s
+}
+
+// String renders the stats as a short report.
+func (s *Stats) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "span: %.1f .. %.1f us, total channel wait %.1f us\n",
+		s.FirstInject, s.LastDone, s.TotalWait)
+	hosts := make([]int, 0, len(s.Injections))
+	for h := range s.Injections {
+		hosts = append(hosts, h)
+	}
+	sort.Ints(hosts)
+	for _, h := range hosts {
+		fmt.Fprintf(&sb, "  h%-3d %3d injections", h, s.Injections[h])
+		if w := s.WaitByHost[h]; w > 0 {
+			fmt.Fprintf(&sb, " (waited %.1f us)", w)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// TimelineOptions controls rendering.
+type TimelineOptions struct {
+	// Width is the number of character columns for the time axis
+	// (default 72).
+	Width int
+	// Session filters to one session (-1 = all).
+	Session int
+}
+
+// Timeline renders per-host activity lanes. Each lane shows when the host
+// injected copies ('s' for send), received packets ('r'), and completed
+// ('D'). Overlapping markers collapse to '#' (send+receive in one bucket).
+func Timeline(events []sim.TraceEvent, opts TimelineOptions) string {
+	if opts.Width <= 0 {
+		opts.Width = 72
+	}
+	if len(events) == 0 {
+		return "(empty trace)\n"
+	}
+	tMin, tMax := events[0].Time, events[0].Time
+	hostSet := map[int]bool{}
+	for _, e := range events {
+		if opts.Session >= 0 && e.Session != opts.Session {
+			continue
+		}
+		if e.Time < tMin {
+			tMin = e.Time
+		}
+		if e.Time > tMax {
+			tMax = e.Time
+		}
+		hostSet[e.Host] = true
+	}
+	if tMax <= tMin {
+		tMax = tMin + 1
+	}
+	hosts := make([]int, 0, len(hostSet))
+	for h := range hostSet {
+		hosts = append(hosts, h)
+	}
+	sort.Ints(hosts)
+
+	bucket := func(t float64) int {
+		b := int((t - tMin) / (tMax - tMin) * float64(opts.Width-1))
+		if b < 0 {
+			b = 0
+		}
+		if b >= opts.Width {
+			b = opts.Width - 1
+		}
+		return b
+	}
+
+	lanes := map[int][]byte{}
+	for _, h := range hosts {
+		lane := make([]byte, opts.Width)
+		for i := range lane {
+			lane[i] = '.'
+		}
+		lanes[h] = lane
+	}
+	put := func(h int, b int, c byte) {
+		lane := lanes[h]
+		switch {
+		case lane[b] == '.':
+			lane[b] = c
+		case lane[b] != c && c != 'D':
+			lane[b] = '#'
+		case c == 'D':
+			lane[b] = 'D' // completion dominates
+		}
+	}
+	for _, e := range events {
+		if opts.Session >= 0 && e.Session != opts.Session {
+			continue
+		}
+		switch e.Kind {
+		case "inject":
+			put(e.Host, bucket(e.Time), 's')
+		case "deliver":
+			put(e.Host, bucket(e.Time), 'r')
+		case "done":
+			put(e.Host, bucket(e.Time), 'D')
+		}
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "time %.1f .. %.1f us  (s=send r=recv D=done #=both)\n", tMin, tMax)
+	for _, h := range hosts {
+		fmt.Fprintf(&sb, "h%-4d %s\n", h, lanes[h])
+	}
+	return sb.String()
+}

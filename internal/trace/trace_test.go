@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stepsim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+func traceRun(t *testing.T, m int) ([]sim.TraceEvent, *core.Plan, *core.System) {
+	t.Helper()
+	s := core.NewIrregularSystem(topology.DefaultIrregular(), 1)
+	set := workload.DestSet(workload.NewRNG(5), 64, 7)
+	plan := s.Plan(core.Spec{Source: set[0], Dests: set[1:], Packets: m, Policy: core.OptimalTree})
+	_, events := sim.ConcurrentTraced(s.Router,
+		[]sim.Session{{Tree: plan.Tree, Packets: m}},
+		sim.DefaultParams(), stepsim.FPFS, true)
+	return events, plan, s
+}
+
+func TestTraceEventCounts(t *testing.T) {
+	events, plan, _ := traceRun(t, 4)
+	var inj, del, done int
+	for _, e := range events {
+		switch e.Kind {
+		case "inject":
+			inj++
+		case "deliver":
+			del++
+		case "done":
+			done++
+		}
+	}
+	edges := plan.Tree.Size() - 1
+	if inj != edges*4 {
+		t.Errorf("injections = %d, want %d", inj, edges*4)
+	}
+	if del != edges*4 {
+		t.Errorf("deliveries = %d, want %d", del, edges*4)
+	}
+	if done != edges {
+		t.Errorf("done events = %d, want %d destinations", done, edges)
+	}
+}
+
+func TestTraceDisabledIsFree(t *testing.T) {
+	s := core.NewIrregularSystem(topology.DefaultIrregular(), 2)
+	set := workload.DestSet(workload.NewRNG(5), 64, 7)
+	plan := s.Plan(core.Spec{Source: set[0], Dests: set[1:], Packets: 2, Policy: core.OptimalTree})
+	res, events := sim.ConcurrentTraced(s.Router,
+		[]sim.Session{{Tree: plan.Tree, Packets: 2}},
+		sim.DefaultParams(), stepsim.FPFS, false)
+	if events != nil {
+		t.Error("untraced run returned events")
+	}
+	if res.Sessions[0].Latency <= 0 {
+		t.Error("untraced run failed")
+	}
+}
+
+func TestCollectStats(t *testing.T) {
+	events, plan, _ := traceRun(t, 3)
+	st := Collect(events)
+	totalInj := 0
+	for _, c := range st.Injections {
+		totalInj += c
+	}
+	if totalInj != (plan.Tree.Size()-1)*3 {
+		t.Errorf("stats injections = %d", totalInj)
+	}
+	if st.LastDone <= st.FirstInject {
+		t.Error("stats time span degenerate")
+	}
+	// The source must be among the injectors with >= packets injections.
+	if st.Injections[plan.Tree.Root()] < 3 {
+		t.Errorf("source injected %d, want >= 3", st.Injections[plan.Tree.Root()])
+	}
+	out := st.String()
+	if !strings.Contains(out, "span:") || !strings.Contains(out, "injections") {
+		t.Errorf("stats report malformed:\n%s", out)
+	}
+}
+
+func TestTimelineRendering(t *testing.T) {
+	events, plan, _ := traceRun(t, 3)
+	out := Timeline(events, TimelineOptions{Width: 60, Session: -1})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header + one lane per host that acted.
+	if len(lines) < plan.Tree.Size() {
+		t.Fatalf("timeline has %d lines for %d tree nodes:\n%s", len(lines), plan.Tree.Size(), out)
+	}
+	if !strings.Contains(lines[0], "us") {
+		t.Error("missing header")
+	}
+	// The source lane contains sends; some lane contains 'D'.
+	var sawSend, sawDone bool
+	for _, l := range lines[1:] {
+		if strings.Contains(l, "s") || strings.Contains(l, "#") {
+			sawSend = true
+		}
+		if strings.Contains(l, "D") {
+			sawDone = true
+		}
+	}
+	if !sawSend || !sawDone {
+		t.Errorf("timeline missing send/done markers:\n%s", out)
+	}
+	// Lanes all have the same width.
+	w := len(lines[1])
+	for _, l := range lines[1:] {
+		if len(l) != w {
+			t.Errorf("ragged timeline lanes:\n%s", out)
+		}
+	}
+}
+
+func TestTimelineEmptyAndFilter(t *testing.T) {
+	if got := Timeline(nil, TimelineOptions{}); !strings.Contains(got, "empty") {
+		t.Errorf("empty trace rendering: %q", got)
+	}
+	events, _, _ := traceRun(t, 2)
+	all := Timeline(events, TimelineOptions{Session: -1})
+	only := Timeline(events, TimelineOptions{Session: 0})
+	if only != all {
+		t.Error("filtering to the only session changed the rendering")
+	}
+	none := Timeline(events, TimelineOptions{Session: 5})
+	if !strings.Contains(none, "time") {
+		t.Errorf("filtered-out rendering malformed: %q", none)
+	}
+}
+
+func TestTimelineDeterministic(t *testing.T) {
+	a, _, _ := traceRun(t, 3)
+	b, _, _ := traceRun(t, 3)
+	ta := Timeline(a, TimelineOptions{})
+	tb := Timeline(b, TimelineOptions{})
+	if ta != tb {
+		t.Error("timeline not deterministic")
+	}
+}

@@ -1,0 +1,305 @@
+package tree
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ktree"
+)
+
+func chainN(n int) []int {
+	c := make([]int, n)
+	for i := range c {
+		c[i] = i
+	}
+	return c
+}
+
+func TestNewSingleton(t *testing.T) {
+	tr := New(7)
+	if tr.Root() != 7 || tr.Size() != 1 || tr.Depth() != 0 || tr.RootDegree() != 0 {
+		t.Errorf("singleton tree malformed: root=%d size=%d", tr.Root(), tr.Size())
+	}
+	if err := tr.Validate([]int{7}); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestLinearShape(t *testing.T) {
+	tr := Linear(chainN(5))
+	if tr.Depth() != 4 || tr.RootDegree() != 1 || tr.MaxDegree() != 1 {
+		t.Errorf("linear tree: depth=%d rootDeg=%d maxDeg=%d", tr.Depth(), tr.RootDegree(), tr.MaxDegree())
+	}
+	for i := 1; i < 5; i++ {
+		if p, ok := tr.Parent(i); !ok || p != i-1 {
+			t.Errorf("Parent(%d) = %d,%v, want %d", i, p, ok, i-1)
+		}
+	}
+	if err := tr.Validate(chainN(5)); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestBinomialShape(t *testing.T) {
+	// A binomial tree over 2^d nodes has depth d and root degree d.
+	for d := 1; d <= 6; d++ {
+		n := 1 << d
+		tr := Binomial(chainN(n))
+		if err := tr.Validate(chainN(n)); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if tr.Depth() != d {
+			t.Errorf("n=%d: depth=%d, want %d", n, tr.Depth(), d)
+		}
+		if tr.RootDegree() != d {
+			t.Errorf("n=%d: root degree=%d, want %d", n, tr.RootDegree(), d)
+		}
+	}
+}
+
+func TestKBinomialCoversChainExactly(t *testing.T) {
+	for n := 1; n <= 130; n++ {
+		for k := 1; k <= 7; k++ {
+			tr := KBinomial(chainN(n), k)
+			if err := tr.Validate(chainN(n)); err != nil {
+				t.Fatalf("n=%d k=%d: %v", n, k, err)
+			}
+		}
+	}
+}
+
+func TestKBinomialDegreeBound(t *testing.T) {
+	// Definition 1: every vertex has at most k children.
+	for n := 1; n <= 130; n++ {
+		for k := 1; k <= 7; k++ {
+			tr := KBinomial(chainN(n), k)
+			if d := tr.MaxDegree(); d > k {
+				t.Errorf("n=%d k=%d: max degree %d exceeds k", n, k, d)
+			}
+		}
+	}
+}
+
+func TestKBinomialDepthMatchesSteps1(t *testing.T) {
+	// A single-packet multicast over the constructed tree must complete in
+	// Steps1(n,k) steps; since each tree edge consumes at least one step,
+	// the tree depth can never exceed Steps1.
+	for n := 2; n <= 130; n++ {
+		for k := 1; k <= 6; k++ {
+			tr := KBinomial(chainN(n), k)
+			if d, s := tr.Depth(), ktree.Steps1(n, k); d > s {
+				t.Errorf("n=%d k=%d: depth %d > Steps1 %d", n, k, d, s)
+			}
+		}
+	}
+}
+
+func TestKBinomialFullTreeShape(t *testing.T) {
+	// When n = N(s,k) exactly, the root must have exactly min(s,k) children
+	// and the first (earliest-sent) child heads the largest subtree.
+	for k := 1; k <= 5; k++ {
+		for s := 1; s <= 7; s++ {
+			n := ktree.Coverage(s, k)
+			if n > 4096 {
+				continue
+			}
+			tr := KBinomial(chainN(n), k)
+			wantDeg := k
+			if s < k {
+				wantDeg = s
+			}
+			if tr.RootDegree() != wantDeg {
+				t.Errorf("k=%d s=%d n=%d: root degree %d, want %d", k, s, n, tr.RootDegree(), wantDeg)
+			}
+			kids := tr.Children(0)
+			sizes := make([]int, len(kids))
+			for i, c := range kids {
+				sizes[i] = subtreeSize(tr, c)
+			}
+			for i := 1; i < len(sizes); i++ {
+				if sizes[i] > sizes[i-1] {
+					t.Errorf("k=%d s=%d: child subtree sizes not non-increasing: %v", k, s, sizes)
+				}
+			}
+		}
+	}
+}
+
+func TestKBinomialK1IsLinear(t *testing.T) {
+	for n := 1; n <= 40; n++ {
+		a, b := KBinomial(chainN(n), 1), Linear(chainN(n))
+		ea, eb := a.Edges(), b.Edges()
+		if len(ea) != len(eb) {
+			t.Fatalf("n=%d: edge counts differ", n)
+		}
+		for i := range ea {
+			if ea[i] != eb[i] {
+				t.Errorf("n=%d: edge %d differs: %v vs %v", n, i, ea[i], eb[i])
+			}
+		}
+	}
+}
+
+func TestKBinomialLargeKIsBinomial(t *testing.T) {
+	// For k >= ceil(log2 n), the k-binomial tree is the binomial tree.
+	for n := 2; n <= 64; n++ {
+		k := ktree.CeilLog2(n)
+		a, b := KBinomial(chainN(n), k), Binomial(chainN(n))
+		ea, eb := a.Edges(), b.Edges()
+		for i := range ea {
+			if ea[i] != eb[i] {
+				t.Fatalf("n=%d: edge %d differs: %v vs %v", n, i, ea[i], eb[i])
+			}
+		}
+	}
+}
+
+func TestSegmentSpansProperty(t *testing.T) {
+	// Contention-freeness prerequisite: every subtree spans a contiguous
+	// chain segment (Fig. 11).
+	for n := 1; n <= 100; n++ {
+		for k := 1; k <= 6; k++ {
+			tr := KBinomial(chainN(n), k)
+			if !SegmentSpans(tr, chainN(n)) {
+				t.Errorf("n=%d k=%d: subtree spans non-contiguous segment", n, k)
+			}
+		}
+	}
+}
+
+func TestSegmentSpansDetectsViolation(t *testing.T) {
+	// A hand-built tree whose subtree {1,3} skips node 2 must fail.
+	tr := New(0)
+	tr.AddChild(0, 1)
+	tr.AddChild(0, 2)
+	tr.AddChild(1, 3)
+	if SegmentSpans(tr, []int{0, 1, 2, 3}) {
+		t.Error("SegmentSpans accepted a non-contiguous subtree")
+	}
+}
+
+func TestOptimalSelectsK(t *testing.T) {
+	for _, c := range []struct{ n, m, wantK int }{
+		{16, 1, 4}, // binomial for single packet
+		{16, 4, 2}, // paper Fig. 12(b)
+		{64, 8, 2},
+	} {
+		chain := chainN(c.n)
+		tr, k := Optimal(chain, c.m)
+		if k != c.wantK {
+			t.Errorf("Optimal(n=%d,m=%d) k=%d, want %d", c.n, c.m, k, c.wantK)
+		}
+		if err := tr.Validate(chain); err != nil {
+			t.Errorf("Optimal(n=%d,m=%d): %v", c.n, c.m, err)
+		}
+	}
+	if tr, k := Optimal([]int{9}, 5); k != 1 || tr.Size() != 1 {
+		t.Error("Optimal on singleton chain malformed")
+	}
+}
+
+func TestArbitraryNodeIDs(t *testing.T) {
+	// The chain need not be 0..n-1.
+	chain := []int{42, 7, 99, 3, 1000, 56, 12}
+	tr := KBinomial(chain, 2)
+	if err := tr.Validate(chain); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if tr.Root() != 42 {
+		t.Errorf("root = %d, want 42", tr.Root())
+	}
+	if !SegmentSpans(tr, chain) {
+		t.Error("segment property violated on arbitrary IDs")
+	}
+}
+
+func TestEdgesPreorderDeterministic(t *testing.T) {
+	chain := chainN(17)
+	a := KBinomial(chain, 3).Edges()
+	b := KBinomial(chain, 3).Edges()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Edges not deterministic")
+		}
+	}
+	if len(a) != 16 {
+		t.Errorf("edge count = %d, want 16", len(a))
+	}
+}
+
+func TestValidateCatchesMissingParticipant(t *testing.T) {
+	tr := Linear([]int{0, 1, 2})
+	if err := tr.Validate([]int{0, 1, 2, 3}); err == nil {
+		t.Error("Validate accepted missing participant")
+	}
+	if err := tr.Validate([]int{0, 1}); err == nil {
+		t.Error("Validate accepted wrong size")
+	}
+}
+
+func TestAddChildPanics(t *testing.T) {
+	tr := New(0)
+	tr.AddChild(0, 1)
+	for _, f := range []func(){
+		func() { tr.AddChild(5, 2) }, // unknown parent
+		func() { tr.AddChild(0, 1) }, // duplicate child
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { Linear(nil) },
+		func() { Binomial([]int{}) },
+		func() { KBinomial(chainN(4), 0) },
+		func() { KBinomial([]int{1, 2, 1}, 2) },
+		func() { KBinomial([]int{-1, 2}, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestQuickKBinomialInvariants(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			vals[0] = reflect.ValueOf(2 + r.Intn(200)) // n
+			vals[1] = reflect.ValueOf(1 + r.Intn(8))   // k
+		},
+	}
+	if err := quick.Check(func(n, k int) bool {
+		chain := chainN(n)
+		tr := KBinomial(chain, k)
+		return tr.Validate(chain) == nil &&
+			tr.MaxDegree() <= k &&
+			tr.Depth() <= ktree.Steps1(n, k) &&
+			SegmentSpans(tr, chain)
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func subtreeSize(t *Tree, v int) int {
+	n := 1
+	for _, c := range t.Children(v) {
+		n += subtreeSize(t, c)
+	}
+	return n
+}

@@ -1,0 +1,106 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	sys := repro.NewIrregularSystem(repro.DefaultIrregularConfig(), 1)
+	spec := repro.Spec{Source: 0, Dests: []int{5, 9, 23, 44, 61, 17, 38}, Packets: 8, Policy: repro.OptimalTree}
+	plan := sys.Plan(spec)
+	if plan.K < 1 {
+		t.Fatalf("plan k = %d", plan.K)
+	}
+	res := sys.Simulate(plan, repro.DefaultParams(), repro.FPFS)
+	if res.Latency <= 0 || len(res.HostDone) != 7 {
+		t.Fatalf("simulation incomplete: %+v", res)
+	}
+}
+
+func TestFacadeCubeSystem(t *testing.T) {
+	sys := repro.NewCubeSystem(2, 4)
+	spec := repro.Spec{Source: 3, Dests: []int{0, 7, 12, 15}, Packets: 2, Policy: repro.BinomialTree}
+	res := sys.Simulate(sys.Plan(spec), repro.DefaultParams(), repro.FPFS)
+	if res.Latency <= 0 {
+		t.Fatal("cube simulation failed")
+	}
+}
+
+func TestFacadeOptimalK(t *testing.T) {
+	k, steps := repro.OptimalK(16, 1)
+	if k != 4 || steps != 4 {
+		t.Errorf("OptimalK(16,1) = (%d,%d), want (4,4)", k, steps)
+	}
+	if repro.Coverage(5, 3) != 28 {
+		t.Errorf("Coverage(5,3) = %d, want 28", repro.Coverage(5, 3))
+	}
+}
+
+func TestFacadeModelLatency(t *testing.T) {
+	c := repro.Costs{THostSend: 12.5, THostRecv: 12.5, TStep: 5.4}
+	lat, k := repro.ModelLatency(4, 3, c)
+	// Optimal for n=4, m=3 is the linear tree: 5 steps (paper Fig. 5).
+	if k != 1 {
+		t.Errorf("k = %d, want 1", k)
+	}
+	if want := 12.5 + 5*5.4 + 12.5; lat != want {
+		t.Errorf("latency = %f, want %f", lat, want)
+	}
+}
+
+func TestFacadeDisciplinesDistinct(t *testing.T) {
+	if repro.FPFS == repro.FCFS || repro.FCFS == repro.Conventional {
+		t.Error("discipline constants collide")
+	}
+	if repro.OptimalTree == repro.BinomialTree {
+		t.Error("tree policy constants collide")
+	}
+}
+
+func TestFacadeCollectives(t *testing.T) {
+	sys := repro.NewIrregularSystem(repro.DefaultIrregularConfig(), 3)
+	p := repro.DefaultParams()
+	spec := repro.Spec{Source: 0, Dests: []int{5, 9, 23, 44, 61}, Packets: 4, Policy: repro.OptimalTree}
+
+	bc := repro.Broadcast(sys, 0, 2, repro.OptimalTree, p)
+	if bc.Latency <= 0 || bc.Sends != 63*2 {
+		t.Errorf("Broadcast: %+v", bc)
+	}
+	sc := repro.Scatter(sys, spec, p)
+	ga := repro.Gather(sys, spec, p)
+	if sc.Latency <= 0 || ga.Latency <= 0 || sc.Sends != ga.Sends {
+		t.Errorf("Scatter/Gather: %v / %v", sc, ga)
+	}
+	rd := repro.Reduce(sys, spec, p)
+	if rd.Latency <= 0 || rd.Sends != 5*4 {
+		t.Errorf("Reduce: %+v", rd)
+	}
+	ba := repro.Barrier(sys, spec, p)
+	if ba.Latency <= rd.Latency/4 {
+		t.Errorf("Barrier latency %f implausible", ba.Latency)
+	}
+}
+
+func TestFacadeMeshSystem(t *testing.T) {
+	sys := repro.NewMeshSystem(3, 2)
+	spec := repro.Spec{Source: 4, Dests: []int{0, 2, 6, 8}, Packets: 3, Policy: repro.OptimalTree}
+	res := sys.Simulate(sys.Plan(spec), repro.DefaultParams(), repro.FPFS)
+	if res.Latency <= 0 || len(res.HostDone) != 4 {
+		t.Fatalf("mesh simulation incomplete: %+v", res)
+	}
+}
+
+func TestFacadeConcurrent(t *testing.T) {
+	sys := repro.NewIrregularSystem(repro.DefaultIrregularConfig(), 5)
+	planA := sys.Plan(repro.Spec{Source: 0, Dests: []int{9, 18}, Packets: 2, Policy: repro.OptimalTree})
+	planB := sys.Plan(repro.Spec{Source: 1, Dests: []int{27, 36}, Packets: 2, Policy: repro.OptimalTree})
+	res := repro.Concurrent(sys, []repro.Session{
+		{Tree: planA.Tree, Packets: 2},
+		{Tree: planB.Tree, Packets: 2},
+	}, repro.DefaultParams(), repro.FPFS)
+	if len(res.Sessions) != 2 || res.Sends != 8 {
+		t.Fatalf("concurrent facade: %+v", res)
+	}
+}
