@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build test race vet fmt check figures clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The reliable-delivery and concurrent-session tests exercise shared NIs
+# from multiple goroutines; always run them under the race detector.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt -l found unformatted files:"; echo "$$out"; exit 1; \
+	fi
+
+check: build vet fmt race
+
+figures:
+	$(GO) run ./cmd/figures -out figures
+
+clean:
+	$(GO) clean ./...

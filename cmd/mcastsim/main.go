@@ -6,6 +6,7 @@
 //	mcastsim [-seed 1] [-dests 15] [-packets 8] [-tree optimal|binomial|linear|k]
 //	         [-k 3] [-ni fpfs|fcfs|conventional] [-model packet|flit]
 //	         [-wseed 7] [-verbose] [-timeline]
+//	         [-reliable] [-droprate 0.01] [-faults "kill:74@40,corrupt:0.01"] [-retries 8]
 //
 // Example:
 //
@@ -13,6 +14,13 @@
 //	system: 64 hosts, 16 switches, 101 links (seed 1)
 //	plan:   k=2 tree depth=9 root degree=2, model bound 21 steps
 //	result: latency 131.9 us, 376 sends, channel wait 3.2 us
+//
+// With -reliable (or any fault flag) the run uses the ACK/NACK
+// retransmission protocol of internal/reliable: packets carry real
+// headers and payloads, losses are retransmitted, and killed links are
+// routed around mid-flight. -faults is a comma-separated list of
+// directives: kill:LINK@T, stall:HOST@FROM-UNTIL, corrupt:P, ackdrop:P,
+// seed:N.
 package main
 
 import (
@@ -20,9 +28,11 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 
 	"repro"
 	"repro/internal/flitsim"
+	"repro/internal/message"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -39,6 +49,10 @@ func main() {
 	verbose := flag.Bool("verbose", false, "print per-destination completion times")
 	timeline := flag.Bool("timeline", false, "print an ASCII per-host activity timeline")
 	model := flag.String("model", "packet", "network model: packet (fast reservation) or flit (cycle-accurate wormhole)")
+	reliableRun := flag.Bool("reliable", false, "use the ACK/NACK reliable-delivery protocol (implied by any fault flag)")
+	droprate := flag.Float64("droprate", 0, "per-transmission packet loss probability [0,1)")
+	faultSpec := flag.String("faults", "", "fault directives: kill:LINK@T,stall:HOST@FROM-UNTIL,corrupt:P,ackdrop:P,seed:N")
+	retries := flag.Int("retries", 8, "retransmissions per (tree edge, packet) before orphaning")
 	flag.Parse()
 
 	sys := repro.NewIrregularSystem(repro.DefaultIrregularConfig(), *seed)
@@ -84,6 +98,16 @@ func main() {
 	}
 	plan := sys.Plan(spec)
 
+	if *reliableRun || *droprate > 0 || *faultSpec != "" {
+		if *ni != "fpfs" || *model != "packet" {
+			fmt.Fprintln(os.Stderr, "mcastsim: reliable delivery supports -ni fpfs -model packet only")
+			os.Exit(1)
+		}
+		fmt.Printf("system: %s (seed %d)\n", sys.Net.Summary(), *seed)
+		runReliable(sys, plan, *droprate, *faultSpec, *retries, *wseed, *verbose)
+		return
+	}
+
 	if *model == "flit" {
 		fres := flitsim.MulticastDisc(sys.Router, plan.Tree, spec.Packets, flitsim.DefaultParams(), disc)
 		fmt.Printf("system: %s (seed %d)\n", sys.Net.Summary(), *seed)
@@ -126,6 +150,134 @@ func main() {
 		fmt.Println()
 		fmt.Print(trace.Collect(events).String())
 	}
+}
+
+// parseFaults turns the -faults directive list into a FaultPlan.
+func parseFaults(spec string, droprate float64) (repro.FaultPlan, error) {
+	fp := repro.FaultPlan{Seed: 1, DropRate: droprate}
+	if spec == "" {
+		return fp, nil
+	}
+	for _, dir := range strings.Split(spec, ",") {
+		kind, arg, ok := strings.Cut(strings.TrimSpace(dir), ":")
+		if !ok {
+			return fp, fmt.Errorf("directive %q is not kind:value", dir)
+		}
+		switch kind {
+		case "kill":
+			link, at, ok := strings.Cut(arg, "@")
+			if !ok {
+				return fp, fmt.Errorf("kill %q is not LINK@T", arg)
+			}
+			id, err := strconv.Atoi(link)
+			if err != nil {
+				return fp, fmt.Errorf("kill link %q: %v", link, err)
+			}
+			t, err := strconv.ParseFloat(at, 64)
+			if err != nil {
+				return fp, fmt.Errorf("kill time %q: %v", at, err)
+			}
+			fp.Kills = append(fp.Kills, repro.LinkKill{Link: id, At: t})
+		case "stall":
+			host, window, ok := strings.Cut(arg, "@")
+			if !ok {
+				return fp, fmt.Errorf("stall %q is not HOST@FROM-UNTIL", arg)
+			}
+			h, err := strconv.Atoi(host)
+			if err != nil {
+				return fp, fmt.Errorf("stall host %q: %v", host, err)
+			}
+			from, until, ok := strings.Cut(window, "-")
+			if !ok {
+				return fp, fmt.Errorf("stall window %q is not FROM-UNTIL", window)
+			}
+			f, err1 := strconv.ParseFloat(from, 64)
+			u, err2 := strconv.ParseFloat(until, 64)
+			if err1 != nil || err2 != nil {
+				return fp, fmt.Errorf("stall window %q: bad bounds", window)
+			}
+			fp.Stalls = append(fp.Stalls, repro.HostStall{Host: h, Stall: repro.Stall{From: f, Until: u}})
+		case "corrupt":
+			p, err := strconv.ParseFloat(arg, 64)
+			if err != nil {
+				return fp, fmt.Errorf("corrupt rate %q: %v", arg, err)
+			}
+			fp.CorruptRate = p
+		case "ackdrop":
+			p, err := strconv.ParseFloat(arg, 64)
+			if err != nil {
+				return fp, fmt.Errorf("ackdrop rate %q: %v", arg, err)
+			}
+			fp.AckDropRate = p
+		case "seed":
+			s, err := strconv.ParseUint(arg, 10, 64)
+			if err != nil {
+				return fp, fmt.Errorf("seed %q: %v", arg, err)
+			}
+			fp.Seed = s
+		default:
+			return fp, fmt.Errorf("unknown fault directive %q", kind)
+		}
+	}
+	return fp, nil
+}
+
+// runReliable executes the plan under the reliable-delivery protocol and
+// prints the protocol and fault counters.
+func runReliable(sys *repro.System, plan *repro.Plan, droprate float64, faultSpec string, retries int, wseed uint64, verbose bool) {
+	fp, err := parseFaults(faultSpec, droprate)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcastsim: -faults: %v\n", err)
+		os.Exit(1)
+	}
+	for _, k := range fp.Kills {
+		if k.Link < 0 || k.Link >= len(sys.Net.Links()) {
+			fmt.Fprintf(os.Stderr, "mcastsim: -faults: kill link %d out of range (network has links 0..%d)\n",
+				k.Link, len(sys.Net.Links())-1)
+			os.Exit(1)
+		}
+	}
+	cfg := repro.DefaultReliableConfig()
+	cfg.RetryBudget = retries
+	payload := make([]byte, plan.Spec.Packets*(cfg.Params.PacketBytes-message.HeaderSize))
+	prng := workload.NewRNG(wseed ^ 0x9e3779b97f4a7c15)
+	for i := range payload {
+		payload[i] = byte(prng.Uint64())
+	}
+	res, err := repro.DeliverReliable(sys, plan, payload, cfg, fp)
+	if res == nil {
+		// Validation failure (bad rates, bad retry budget): no run happened.
+		fmt.Fprintf(os.Stderr, "mcastsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("spec:   source h%d, %d destinations, %d packets (%d payload bytes), %s tree, reliable FPFS\n",
+		plan.Spec.Source, len(plan.Spec.Dests), res.Packets, len(payload), plan.Spec.Policy)
+	fmt.Printf("faults: drop=%g corrupt=%g ackdrop=%g kills=%d stalls=%d seed=%d\n",
+		fp.DropRate, fp.CorruptRate, fp.AckDropRate, len(fp.Kills), len(fp.Stalls), fp.Seed)
+	fmt.Printf("result: latency %.1f us, %d sends (%d retransmits), %d acks, %d nacks, %d duplicates suppressed\n",
+		res.Latency, res.Sends, res.Retransmits, res.Acks, res.Nacks, res.Duplicates)
+	fmt.Printf("        injected: %d dropped, %d corrupted, %d acks lost, %d dead-link sends, %.1f us stall wait\n",
+		res.Faults.Dropped, res.Faults.Corrupted, res.Faults.AcksLost, res.Faults.DeadSends, res.Faults.StallWait)
+	if res.Repairs > 0 {
+		fmt.Printf("        %d mid-flight tree repair(s) re-parented starved subtrees\n", res.Repairs)
+	}
+	if verbose {
+		fmt.Println("\nper-destination completion (us):")
+		for _, d := range plan.Chain[1:] {
+			if t, ok := res.HostDone[d]; ok {
+				fmt.Printf("  h%-3d %8.1f\n", d, t)
+			} else {
+				fmt.Printf("  h%-3d   (undelivered)\n", d)
+			}
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcastsim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("        all %d destinations received the %d-byte message byte-exactly\n",
+		len(res.Delivered), len(payload))
 }
 
 func joinInts(xs []int) string {

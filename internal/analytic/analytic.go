@@ -164,6 +164,31 @@ func Speedup(n, m int, c Costs) float64 {
 	return SmartBinomial(n, m, c) / opt
 }
 
+// ExpectedSendsFactor returns the expected transmissions per delivered
+// packet across one lossy hop under stop-and-wait retransmission with
+// per-transmission loss probability p: the mean of a geometric
+// distribution, 1/(1-p). It panics outside [0, 1).
+func ExpectedSendsFactor(p float64) float64 {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("analytic: loss probability %f outside [0, 1)", p))
+	}
+	return 1 / (1 - p)
+}
+
+// ExpectedTreeSends returns the expected total data transmissions for an
+// m-packet message over a multicast tree with the given edge count when
+// every edge loses each transmission independently with probability p and
+// lost packets are retransmitted until delivered: edges * m / (1-p).
+// Reliable-delivery measurements are checked against this closed form in
+// the chaos experiment.
+func ExpectedTreeSends(edges, m int, p float64) float64 {
+	if edges < 1 {
+		panic(fmt.Sprintf("analytic: edge count %d < 1", edges))
+	}
+	mustM(m)
+	return float64(edges) * float64(m) * ExpectedSendsFactor(p)
+}
+
 func mustN(n int) {
 	if n < 2 {
 		panic(fmt.Sprintf("analytic: multicast set size %d < 2", n))

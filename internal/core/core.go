@@ -117,12 +117,24 @@ func NewMeshSystem(arity, dims int) *System {
 // switch graph (no routing can recover a partition) or if the system is
 // not an up*/down*-routed irregular network.
 func (s *System) WithoutLink(linkID int) *System {
-	if _, ok := s.Router.(*routing.UpDown); !ok {
-		panic("core: WithoutLink supports up*/down* (irregular) systems only")
+	sys, err := s.WithoutLinkChecked(linkID)
+	if err != nil {
+		panic(fmt.Sprintf("core: %v", err))
 	}
-	net := s.Net.WithoutLink(linkID)
-	if !net.Connected() {
-		panic(fmt.Sprintf("core: removing link %d partitions the network", linkID))
+	return sys
+}
+
+// WithoutLinkChecked is WithoutLink with errors instead of panics: the
+// partition case surfaces as a *topology.PartitionError so the reliable
+// delivery layer can distinguish "repairable" from "hosts genuinely cut
+// off" when a link dies mid-operation.
+func (s *System) WithoutLinkChecked(linkID int) (*System, error) {
+	if _, ok := s.Router.(*routing.UpDown); !ok {
+		return nil, fmt.Errorf("core: WithoutLink supports up*/down* (irregular) systems only")
+	}
+	net, err := s.Net.WithoutLinkChecked(linkID)
+	if err != nil {
+		return nil, err
 	}
 	router := routing.NewUpDown(net)
 	return &System{
@@ -130,7 +142,7 @@ func (s *System) WithoutLink(linkID int) *System {
 		Router: router,
 		Ord:    ordering.CCO(router),
 		ktab:   s.ktab,
-	}
+	}, nil
 }
 
 // Spec describes one multicast operation.

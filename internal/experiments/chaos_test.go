@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestChaosAcceptance checks the experiment's two quantitative gates on
+// the reduced sweep: at p=0 the reliable path reproduces the lossless
+// engine exactly (zero latency delta, zero retransmissions, send factor
+// exactly 1), and at p>0 the measured send factor tracks 1/(1-p) within
+// 5%.
+func TestChaosAcceptance(t *testing.T) {
+	cfg := Quick()
+	sys := systems(cfg)
+	for _, policy := range []core.TreePolicy{core.OptimalTree, core.LinearTree} {
+		row := chaosSweepCell(cfg, sys, 0, policy)
+		if row.DeltaP0.Mean() != 0 || row.DeltaP0.Min() != 0 || row.DeltaP0.Max() != 0 {
+			t.Errorf("%v p=0: latency deltas vs lossless engine not identically zero: mean=%g min=%g max=%g",
+				policy, row.DeltaP0.Mean(), row.DeltaP0.Min(), row.DeltaP0.Max())
+		}
+		if row.SendsFactor.Mean() != 1 || row.Retransmits.Mean() != 0 {
+			t.Errorf("%v p=0: sends factor %f, retransmits %f — lossless run retransmitted",
+				policy, row.SendsFactor.Mean(), row.Retransmits.Mean())
+		}
+	}
+	for _, drop := range []float64{0.01, 0.05} {
+		row := chaosSweepCell(cfg, sys, drop, core.OptimalTree)
+		if dev := row.Deviation(); dev > 5 {
+			t.Errorf("p=%g: send factor %f deviates %.2f%% from model %f (budget 5%%)",
+				drop, row.SendsFactor.Mean(), dev, row.Model)
+		}
+		if row.Retransmits.Mean() == 0 {
+			t.Errorf("p=%g: no retransmissions recorded", drop)
+		}
+	}
+}
+
+// TestChaosDeterministic is the seeded-determinism regression: the full
+// chaos experiment must render byte-identically across two runs.
+func TestChaosDeterministic(t *testing.T) {
+	e, ok := ByID("chaos")
+	if !ok {
+		t.Fatal("chaos experiment not registered")
+	}
+	cfg := Quick()
+	a := e.Run(cfg).String()
+	b := e.Run(cfg).String()
+	if a != b {
+		t.Fatal("chaos experiment output differs between identical runs")
+	}
+	for _, want := range []string{"drop sweep", "link kill", "repaired", "partition"} {
+		if !strings.Contains(a, want) {
+			t.Errorf("chaos output missing %q", want)
+		}
+	}
+}

@@ -10,7 +10,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
-		"abl-cluster", "abl-k", "abl-ni", "abl-ordering", "abl-path", "abl-plan", "abl-ports", "buffer", "collectives",
+		"abl-cluster", "abl-k", "abl-ni", "abl-ordering", "abl-path", "abl-plan", "abl-ports", "buffer", "chaos",
+		"collectives",
 		"fig12a", "fig12b", "fig13a", "fig13b", "fig14a", "fig14b", "fig4", "fig5", "fig8",
 		"flitcheck", "multi", "pktsize", "scale",
 	}

@@ -56,6 +56,66 @@ func FuzzReassemblerAdd(f *testing.F) {
 	})
 }
 
+// FuzzCorruptedPacket is the fault-plane contract of the data plane: a
+// packet mutated anywhere — header bytes and payload bytes alike — is
+// either rejected by the checksum or is semantically identical to the
+// original (the flip landed in reserved padding). A corrupted packet must
+// never be mis-reassembled into the wrong slot, message, or content.
+func FuzzCorruptedPacket(f *testing.F) {
+	f.Add([]byte("the quick brown fox jumps over the lazy dog"), 48, 3, byte(0x40))
+	f.Add([]byte{}, 21, 0, byte(1))
+	f.Add(bytes.Repeat([]byte{0xAB}, 300), 64, 25, byte(0x80))
+	f.Add([]byte("seq flip target"), 40, 6, byte(0x01)) // header Seq byte
+	f.Fuzz(func(t *testing.T, data []byte, pktSize, pos int, mask byte) {
+		if pktSize <= HeaderSize || pktSize > 1024 || len(data) > 1<<14 || mask == 0 || pos < 0 {
+			return
+		}
+		pkts, err := Packetize(7, 2, data, pktSize)
+		if err != nil {
+			t.Fatalf("packetize rejected valid input: %v", err)
+		}
+		idx := pos % len(pkts)
+		orig := pkts[idx]
+		mut := append([]byte(nil), orig...)
+		off := (pos / len(pkts)) % len(mut)
+		mut[off] ^= mask
+
+		r := NewReassembler()
+		for i, p := range pkts {
+			if i != idx {
+				if _, err := r.Add(p); err != nil {
+					t.Fatalf("clean packet %d rejected: %v", i, err)
+				}
+			}
+		}
+		if _, err := r.Add(mut); err != nil {
+			// Rejected: the original must still complete the message.
+			if _, err := r.Add(orig); err != nil {
+				t.Fatalf("original packet rejected after corrupt attempt: %v", err)
+			}
+		} else {
+			// Accepted: the mutation must have been semantically invisible.
+			hOrig, _ := DecodeHeader(orig)
+			hMut, err := DecodeHeader(mut)
+			if err != nil {
+				t.Fatalf("accepted packet no longer decodes: %v", err)
+			}
+			if hMut != hOrig {
+				t.Fatalf("semantically different corrupt packet accepted: %+v vs %+v", hMut, hOrig)
+			}
+			if !bytes.Equal(mut[HeaderSize:], orig[HeaderSize:]) {
+				t.Fatal("corrupt payload accepted")
+			}
+		}
+		if !r.Complete() {
+			t.Fatal("message did not complete")
+		}
+		if !bytes.Equal(r.Bytes(), data) {
+			t.Fatal("corruption leaked into reassembled message")
+		}
+	})
+}
+
 // FuzzPacketizeRoundTrip checks the full fragment/reassemble cycle over
 // arbitrary payloads and packet sizes.
 func FuzzPacketizeRoundTrip(f *testing.F) {

@@ -28,7 +28,20 @@ type Header struct {
 	Total     uint16 // packets in the message
 	Multicast bool   // smart-NI forwarding flag
 	Payload   uint16 // payload bytes in this packet
-	Checksum  uint32 // FNV-1a of the payload
+	// Checksum is FNV-1a over the encoded header (with this field zeroed)
+	// followed by the payload, so corruption anywhere in the packet —
+	// control fields included — is detected, not just payload damage.
+	Checksum uint32
+}
+
+// PacketChecksum computes the checksum a valid packet with this header and
+// payload must carry: FNV-1a over the canonical header encoding with the
+// checksum field zeroed, continued over the payload bytes.
+func (h Header) PacketChecksum(payload []byte) uint32 {
+	h.Checksum = 0
+	var buf [HeaderSize]byte
+	enc := h.Encode(buf[:0])
+	return fnv1aUpdate(fnv1aUpdate(fnv1aInit, enc), payload)
 }
 
 // Encode appends the binary header to dst and returns the result.
@@ -70,9 +83,11 @@ func DecodeHeader(b []byte) (Header, error) {
 	return h, nil
 }
 
-// fnv1a hashes the payload for the header checksum.
-func fnv1a(b []byte) uint32 {
-	h := uint32(2166136261)
+// fnv1aInit is the FNV-1a offset basis.
+const fnv1aInit = uint32(2166136261)
+
+// fnv1aUpdate folds b into a running FNV-1a state.
+func fnv1aUpdate(h uint32, b []byte) uint32 {
 	for _, c := range b {
 		h ^= uint32(c)
 		h *= 16777619
@@ -113,8 +128,8 @@ func Packetize(msgID uint32, source int, data []byte, packetBytes int) ([][]byte
 			Total:     uint16(total),
 			Multicast: true,
 			Payload:   uint16(len(chunk)),
-			Checksum:  fnv1a(chunk),
 		}
+		h.Checksum = h.PacketChecksum(chunk)
 		pkt := h.Encode(make([]byte, 0, HeaderSize+len(chunk)))
 		pkt = append(pkt, chunk...)
 		packets = append(packets, pkt)
@@ -148,7 +163,7 @@ func (r *Reassembler) Add(pkt []byte) (bool, error) {
 	if len(body) != int(h.Payload) {
 		return false, fmt.Errorf("message: payload length %d, header says %d", len(body), h.Payload)
 	}
-	if fnv1a(body) != h.Checksum {
+	if h.PacketChecksum(body) != h.Checksum {
 		return false, fmt.Errorf("message: checksum mismatch on packet %d", h.Seq)
 	}
 	if !r.started {

@@ -1,0 +1,55 @@
+package netiface
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Stall is a half-open time window [From, Until) during which an NI's send
+// engine is frozen: the coprocessor accepts no new injections (a transient
+// firmware hiccup, DMA backpressure, or an injected fault). Receives are
+// unaffected — stalling models the send path, the serial resource this
+// package studies.
+type Stall struct {
+	From, Until float64
+}
+
+// NormalizeStalls validates, sorts, and merges overlapping or touching
+// windows so StallDelay can scan them front to back. The input is not
+// modified.
+func NormalizeStalls(stalls []Stall) ([]Stall, error) {
+	for _, s := range stalls {
+		if s.From < 0 || s.Until <= s.From {
+			return nil, fmt.Errorf("netiface: invalid stall window [%f, %f)", s.From, s.Until)
+		}
+	}
+	out := append([]Stall(nil), stalls...)
+	sort.Slice(out, func(i, j int) bool { return out[i].From < out[j].From })
+	merged := out[:0]
+	for _, s := range out {
+		if n := len(merged); n > 0 && s.From <= merged[n-1].Until {
+			if s.Until > merged[n-1].Until {
+				merged[n-1].Until = s.Until
+			}
+			continue
+		}
+		merged = append(merged, s)
+	}
+	return merged, nil
+}
+
+// StallDelay returns how long an injection attempted at time t must wait
+// before the send engine is available: zero outside every window, otherwise
+// the distance to the end of the window containing t. The windows must be
+// normalized (see NormalizeStalls).
+func StallDelay(stalls []Stall, t float64) float64 {
+	for _, s := range stalls {
+		if t < s.From {
+			return 0
+		}
+		if t < s.Until {
+			return s.Until - t
+		}
+	}
+	return 0
+}

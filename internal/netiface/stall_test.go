@@ -1,0 +1,46 @@
+package netiface
+
+import "testing"
+
+func TestNormalizeStalls(t *testing.T) {
+	got, err := NormalizeStalls([]Stall{{5, 7}, {1, 3}, {2, 4}, {4, 5}, {10, 11}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Stall{{1, 7}, {10, 11}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if _, err := NormalizeStalls([]Stall{{3, 3}}); err == nil {
+		t.Error("empty window accepted")
+	}
+	if _, err := NormalizeStalls([]Stall{{-1, 2}}); err == nil {
+		t.Error("negative window accepted")
+	}
+}
+
+func TestStallDelay(t *testing.T) {
+	stalls, err := NormalizeStalls([]Stall{{10, 20}, {30, 35}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		t, want float64
+	}{
+		{0, 0}, {10, 10}, {15, 5}, {19.5, 0.5}, {20, 0}, {25, 0},
+		{30, 5}, {34, 1}, {35, 0}, {100, 0},
+	}
+	for _, c := range cases {
+		if got := StallDelay(stalls, c.t); got != c.want {
+			t.Errorf("StallDelay(%f) = %f, want %f", c.t, got, c.want)
+		}
+	}
+	if StallDelay(nil, 5) != 0 {
+		t.Error("nil stalls must not delay")
+	}
+}

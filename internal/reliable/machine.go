@@ -1,0 +1,370 @@
+package reliable
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/message"
+	"repro/internal/routing"
+	"repro/internal/sim"
+)
+
+// op is one pending data-packet injection across a tree edge. The gen
+// pins it to the edge incarnation that queued it: after a repair replaces
+// the edge, stale ops are skipped at the NI instead of injecting.
+type op struct {
+	from, to, seq, gen int
+}
+
+// pktState tracks one (edge, packet) in flight. timerGen invalidates
+// superseded retransmission timers (a NACK retransmits immediately and
+// must cancel the pending timeout).
+type pktState struct {
+	acked    bool
+	attempt  int // injections performed so far
+	timerGen int
+}
+
+// edgeState is one incarnation of a parent→child tree edge. gen is unique
+// across all incarnations; dead edges ignore every late event.
+type edgeState struct {
+	from, to int
+	gen      int
+	dead     bool
+	seqs     []pktState
+}
+
+// node is the per-host protocol state: the NI send queue (shared by all
+// outgoing edges, serial like the sim engine's), the reassembler, and the
+// node's current position in the (mutable) delivery tree.
+type node struct {
+	id        int
+	parent    int // -1 at the root and while orphaned
+	children  []int
+	queue     []op
+	inFlight  int
+	reasm     *message.Reassembler
+	have      []bool
+	haveCount int
+	abandoned bool
+	regrafts  int
+}
+
+// maxRegrafts bounds how often one node may be re-parented before the
+// protocol abandons it, so repair cannot loop forever under extreme loss.
+const maxRegrafts = 4
+
+type machine struct {
+	cfg     Config
+	p       sim.Params
+	wire    float64
+	ackWire float64
+	k       int
+	m       int
+	root    int
+	pkts    [][]byte
+	eng     *sim.Engine
+	faults  *sim.FaultState
+
+	// sys is the current system view — degraded and re-routed as link
+	// kills are discovered. The maps translate between the degraded
+	// network's densely renumbered link IDs and the original fabric the
+	// event engine's channel table is built for.
+	sys               *core.System
+	degraded          bool
+	origToCur         []int
+	curToOrig         []int
+	applied           map[int]bool // original link IDs already routed around
+	repairUnavailable bool
+
+	routes map[[2]int]routing.Route
+	nodes  map[int]*node
+	edges  map[[2]int]*edgeState
+	genCtr int
+
+	res *Result
+}
+
+func newMachine(sys *core.System, plan *core.Plan, pkts [][]byte, cfg Config, faults *sim.FaultState) *machine {
+	links := len(sys.Net.Links())
+	mc := &machine{
+		cfg:       cfg,
+		p:         cfg.Params,
+		wire:      cfg.Params.WireTime(),
+		ackWire:   float64(cfg.AckBytes) / cfg.Params.LinkBytesUS,
+		k:         plan.K,
+		m:         len(pkts),
+		root:      plan.Tree.Root(),
+		pkts:      pkts,
+		eng:       sim.NewEngine(sys.Net.NumChannels()),
+		faults:    faults,
+		sys:       sys,
+		origToCur: make([]int, links),
+		curToOrig: make([]int, links),
+		applied:   map[int]bool{},
+		routes:    map[[2]int]routing.Route{},
+		nodes:     map[int]*node{},
+		edges:     map[[2]int]*edgeState{},
+		res: &Result{
+			HostDone:  map[int]float64{},
+			Packets:   len(pkts),
+			Delivered: map[int][]byte{},
+		},
+	}
+	mc.eng.SetFaults(faults)
+	for i := 0; i < links; i++ {
+		mc.origToCur[i], mc.curToOrig[i] = i, i
+	}
+	for _, v := range plan.Tree.Nodes() {
+		parent, ok := plan.Tree.Parent(v)
+		if !ok {
+			parent = -1
+		}
+		mc.nodes[v] = &node{
+			id:       v,
+			parent:   parent,
+			children: append([]int(nil), plan.Tree.Children(v)...),
+			reasm:    message.NewReassembler(),
+			have:     make([]bool, mc.m),
+		}
+	}
+	for _, e := range plan.Tree.Edges() {
+		mc.newEdge(e.Parent, e.Child)
+	}
+	return mc
+}
+
+func (mc *machine) newEdge(u, v int) *edgeState {
+	mc.genCtr++
+	es := &edgeState{from: u, to: v, gen: mc.genCtr, seqs: make([]pktState, mc.m)}
+	mc.edges[[2]int{u, v}] = es
+	return es
+}
+
+// run seeds the root — after the t_s software start-up its NI holds every
+// packet, enqueued packet-major across children exactly like the lossless
+// engine under FPFS — then drains the event loop.
+func (mc *machine) run() {
+	mc.eng.At(mc.p.THostSend, func() {
+		n := mc.nodes[mc.root]
+		for j := 0; j < mc.m; j++ {
+			n.have[j] = true
+		}
+		n.haveCount = mc.m
+		for j := 0; j < mc.m; j++ {
+			for _, c := range n.children {
+				n.queue = append(n.queue, op{mc.root, c, j, mc.edges[[2]int{mc.root, c}].gen})
+			}
+		}
+		mc.pump(mc.root)
+	})
+	mc.eng.Run()
+}
+
+// pump starts queued injections while the NI has a free engine, skipping
+// ops whose edge incarnation died or whose packet was ACKed meanwhile.
+func (mc *machine) pump(v int) {
+	n := mc.nodes[v]
+	for n.inFlight < mc.p.Ports() && len(n.queue) > 0 {
+		o := n.queue[0]
+		n.queue = n.queue[1:]
+		es := mc.edges[[2]int{o.from, o.to}]
+		if es == nil || es.dead || es.gen != o.gen || es.seqs[o.seq].acked {
+			continue
+		}
+		mc.inject(n, es, o)
+	}
+}
+
+// inject performs one data-packet transmission: NI overhead, wormhole
+// channel reservation, fault sampling (in the same short-circuit order as
+// the lossless engine, so fault streams replay identically), delivery
+// scheduling, and the retransmission timer. The timer is deterministic:
+// the NI knows its reservation, so absent loss the ACK beats it by
+// exactly RTOSlack.
+func (mc *machine) inject(n *node, es *edgeState, o op) {
+	n.inFlight++
+	route := mc.routeFor(o.from, o.to)
+	now := mc.eng.Now()
+	earliest := now + mc.faults.StallDelay(o.from, now) + mc.p.TNISend
+	start, arrive := mc.eng.ReservePath(route, earliest, mc.wire, mc.p.RouterDelay)
+	mc.res.ChannelWait += start - earliest
+	mc.res.Sends++
+	ps := &es.seqs[o.seq]
+	if ps.attempt > 0 {
+		mc.res.Retransmits++
+	}
+	ps.attempt++
+	mc.eng.At(start+mc.wire, func() {
+		n.inFlight--
+		mc.pump(n.id)
+	})
+	if !mc.faults.RouteDead(route, start) && !mc.faults.SampleDrop() {
+		raw := mc.pkts[o.seq]
+		if mc.faults.SampleCorrupt() {
+			raw = append([]byte(nil), raw...)
+			raw[mc.faults.CorruptByte(len(raw))] ^= 0x55
+		}
+		mc.eng.At(arrive+mc.p.TNIRecv, func() { mc.receive(o, raw) })
+	}
+	deadline := arrive + mc.p.TNIRecv + mc.ctlDelay(o.to, o.from) +
+		mc.cfg.RTOSlack + mc.backoff(ps.attempt-1)
+	timerGen := ps.timerGen
+	mc.eng.At(deadline, func() { mc.timeout(es, o, timerGen) })
+}
+
+// backoff returns the extra timer stretch after `prior` failed attempts:
+// 0 for the first transmission, then base·2^(prior-1) capped at max,
+// widened by seeded jitter.
+func (mc *machine) backoff(prior int) float64 {
+	if prior <= 0 {
+		return 0
+	}
+	d := mc.cfg.BackoffBase * math.Pow(2, float64(prior-1))
+	if d > mc.cfg.BackoffMax {
+		d = mc.cfg.BackoffMax
+	}
+	return d * (1 + mc.faults.Jitter(mc.cfg.JitterFrac))
+}
+
+// ctlDelay is the contention-free control-plane latency from u to v: the
+// route's switch delays plus the control packet's wire time. Control
+// packets are small enough to skip NI queuing in this model, which keeps
+// the data plane's timing untouched by the protocol.
+func (mc *machine) ctlDelay(u, v int) float64 {
+	return float64(mc.routeFor(u, v).Hops())*mc.p.RouterDelay + mc.ackWire
+}
+
+// packetValid replays the receiving NI's checks: parseable header, the
+// expected sequence number, and the header+payload checksum.
+func packetValid(raw []byte, seq int) bool {
+	h, err := message.DecodeHeader(raw)
+	if err != nil || int(h.Seq) != seq {
+		return false
+	}
+	body := raw[message.HeaderSize:]
+	return len(body) == int(h.Payload) && h.PacketChecksum(body) == h.Checksum
+}
+
+// receive is the destination NI absorbing one data packet: NACK on
+// corruption, ACK + suppress on duplicate, otherwise reassemble, ACK,
+// forward to the node's current children, and complete the host when the
+// last packet lands.
+func (mc *machine) receive(o op, raw []byte) {
+	n := mc.nodes[o.to]
+	if !packetValid(raw, o.seq) {
+		mc.res.Nacks++
+		if !mc.faults.SampleAckDrop() {
+			mc.eng.At(mc.eng.Now()+mc.ctlDelay(o.to, o.from), func() { mc.nackArrive(o) })
+		}
+		return
+	}
+	if n.have[o.seq] {
+		mc.res.Duplicates++
+		mc.sendAck(o)
+		return
+	}
+	if _, err := n.reasm.Add(raw); err != nil {
+		// Unreachable for a valid, novel packet; treat like corruption.
+		mc.res.Nacks++
+		if !mc.faults.SampleAckDrop() {
+			mc.eng.At(mc.eng.Now()+mc.ctlDelay(o.to, o.from), func() { mc.nackArrive(o) })
+		}
+		return
+	}
+	n.have[o.seq] = true
+	n.haveCount++
+	mc.sendAck(o)
+	if len(n.children) > 0 {
+		for _, c := range n.children {
+			if es := mc.edges[[2]int{n.id, c}]; es != nil && !es.dead {
+				n.queue = append(n.queue, op{n.id, c, o.seq, es.gen})
+			}
+		}
+		mc.pump(n.id)
+	}
+	if n.haveCount == mc.m {
+		mc.res.HostDone[n.id] = mc.eng.Now() + mc.p.THostRecv
+	}
+}
+
+func (mc *machine) sendAck(o op) {
+	if mc.faults.SampleAckDrop() {
+		return
+	}
+	mc.eng.At(mc.eng.Now()+mc.ctlDelay(o.to, o.from), func() { mc.ackArrive(o) })
+}
+
+func (mc *machine) ackArrive(o op) {
+	es := mc.edges[[2]int{o.from, o.to}]
+	if es == nil || es.dead || es.gen != o.gen {
+		return
+	}
+	ps := &es.seqs[o.seq]
+	if ps.acked {
+		return
+	}
+	ps.acked = true
+	mc.res.Acks++
+}
+
+// nackArrive retransmits immediately — the receiver proved the packet was
+// damaged — after cancelling the pending timeout.
+func (mc *machine) nackArrive(o op) {
+	es := mc.edges[[2]int{o.from, o.to}]
+	if es == nil || es.dead || es.gen != o.gen {
+		return
+	}
+	ps := &es.seqs[o.seq]
+	if ps.acked {
+		return
+	}
+	if ps.attempt > mc.cfg.RetryBudget {
+		mc.orphan(es)
+		return
+	}
+	ps.timerGen++
+	mc.nodes[o.from].queue = append(mc.nodes[o.from].queue, op{o.from, o.to, o.seq, es.gen})
+	mc.pump(o.from)
+}
+
+// timeout fires when no ACK arrived in time: retransmit with backoff, or
+// orphan the edge once the budget is spent.
+func (mc *machine) timeout(es *edgeState, o op, timerGen int) {
+	if es.dead {
+		return
+	}
+	ps := &es.seqs[o.seq]
+	if ps.acked || ps.timerGen != timerGen {
+		return
+	}
+	if ps.attempt > mc.cfg.RetryBudget {
+		mc.orphan(es)
+		return
+	}
+	ps.timerGen++
+	mc.nodes[o.from].queue = append(mc.nodes[o.from].queue, op{o.from, o.to, o.seq, es.gen})
+	mc.pump(o.from)
+}
+
+// routeFor returns the current route u→v with channels expressed in the
+// ORIGINAL fabric's numbering, which is what the engine's channel table
+// and the fault plan's link IDs use. Degraded networks renumber links
+// densely (topology.WithoutLink), so routes from a rebuilt router are
+// translated back through curToOrig; repair invalidates the cache.
+func (mc *machine) routeFor(u, v int) routing.Route {
+	key := [2]int{u, v}
+	if r, ok := mc.routes[key]; ok {
+		return r
+	}
+	r := mc.sys.Router.Route(u, v)
+	if mc.degraded {
+		mapped := make([]int, len(r.Channels))
+		for i, c := range r.Channels {
+			mapped[i] = 2*mc.curToOrig[c/2] + c&1
+		}
+		r.Channels = mapped
+	}
+	mc.routes[key] = r
+	return r
+}

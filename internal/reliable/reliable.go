@@ -1,0 +1,197 @@
+// Package reliable delivers packetized multicast messages byte-exactly
+// over faulty networks: per-packet ACK/NACK with timeout-driven
+// retransmission, exponential backoff with seeded jitter, duplicate
+// suppression at the reassemblers, and mid-flight tree repair when a
+// scheduled link kill severs a subtree.
+//
+// The data plane reproduces the sim package's contention model
+// event-for-event: packet injections pay t_ns on a serial NI, reserve the
+// route's wormhole channels, and deliver after t_nr, exactly as
+// sim.Concurrent does under FPFS. Control traffic (ACK/NACK) instead rides
+// a contention-free plane — small control packets neither occupy the NI
+// send engine nor reserve channels — so under a zero-fault plan the
+// reliable protocol reproduces the lossless engine's latencies exactly,
+// with zero retransmissions. Retransmission timers are deterministic: the
+// sending NI knows its channel reservation, so the timeout is the
+// reserved arrival plus the ACK round trip plus slack, and backoff only
+// stretches it after a real loss.
+//
+// When retries across one tree edge exhaust their budget the child (and
+// its incomplete subtree) is orphaned. If the fault plan has killed links
+// by then, the machine rebuilds routing around them (core.System
+// .WithoutLinkChecked), re-parents the orphans onto a fresh k-binomial
+// subtree under the detecting parent (the paper's tree construction,
+// reused verbatim), and replays the packets it already holds; receivers
+// drop the duplicates. Destinations that a kill genuinely partitions away
+// are reported in a typed *DeliveryError instead.
+package reliable
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/message"
+	"repro/internal/sim"
+)
+
+// Config tunes the reliable-delivery protocol.
+type Config struct {
+	// Params are the timing constants of the underlying simulator.
+	Params sim.Params
+	// RetryBudget is the maximum retransmissions per (tree edge, packet)
+	// before the edge is declared dead and its subtree orphaned.
+	RetryBudget int
+	// RTOSlack is the grace (us) added beyond the deterministic
+	// data+ACK round trip before a retransmission timer fires.
+	RTOSlack float64
+	// BackoffBase is the extra wait (us) before the first retransmission's
+	// timer; it doubles per attempt up to BackoffMax.
+	BackoffBase float64
+	// BackoffMax caps the exponential backoff (us).
+	BackoffMax float64
+	// JitterFrac widens each backoff by a uniform draw in [0, frac) from
+	// the fault plan's seeded RNG, de-synchronizing competing retries.
+	JitterFrac float64
+	// AckBytes is the control-packet size on the wire.
+	AckBytes int
+	// MsgID identifies the message in its packet headers.
+	MsgID uint32
+}
+
+// DefaultConfig returns the protocol defaults used by the chaos
+// experiment: 8 retransmissions per edge-packet, 1 us timer slack, 2 us
+// base backoff capped at 64 us with 25% jitter, 8-byte control packets.
+func DefaultConfig() Config {
+	return Config{
+		Params:      sim.DefaultParams(),
+		RetryBudget: 8,
+		RTOSlack:    1.0,
+		BackoffBase: 2.0,
+		BackoffMax:  64.0,
+		JitterFrac:  0.25,
+		AckBytes:    8,
+		MsgID:       1,
+	}
+}
+
+// Validate reports the first invalid field.
+func (c Config) Validate() error {
+	if err := c.Params.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.RetryBudget < 1:
+		return fmt.Errorf("reliable: retry budget %d < 1", c.RetryBudget)
+	case c.RTOSlack <= 0:
+		return fmt.Errorf("reliable: non-positive RTO slack %f", c.RTOSlack)
+	case c.BackoffBase < 0 || c.BackoffMax < c.BackoffBase:
+		return fmt.Errorf("reliable: backoff range [%f, %f]", c.BackoffBase, c.BackoffMax)
+	case c.JitterFrac < 0:
+		return fmt.Errorf("reliable: negative jitter %f", c.JitterFrac)
+	case c.AckBytes < 1:
+		return fmt.Errorf("reliable: ack size %d", c.AckBytes)
+	}
+	return nil
+}
+
+// Result reports one reliable multicast delivery.
+type Result struct {
+	// Latency is from initiation to the last completing destination host
+	// (abandoned destinations excluded).
+	Latency float64
+	// HostDone is the completion time per destination that finished.
+	HostDone map[int]float64
+	// Packets is the message's packet count.
+	Packets int
+	// Sends counts data-packet injections; Retransmits of those were
+	// repeat attempts. ChannelWait aggregates contention stalls.
+	Sends       int
+	Retransmits int
+	ChannelWait float64
+	// Acks and Nacks count control packets received by senders;
+	// Duplicates counts redundant data packets suppressed by receivers.
+	Acks       int
+	Nacks      int
+	Duplicates int
+	// Repairs counts subtree re-grafts performed mid-flight.
+	Repairs int
+	// Orphaned lists destinations (ascending) the protocol gave up on;
+	// Partitioned reports whether a link kill cut hosts off entirely.
+	Orphaned    []int
+	Partitioned bool
+	// Faults are the injected-fault counters of the run.
+	Faults sim.FaultStats
+	// Delivered holds each completing destination's reassembled message.
+	Delivered map[int][]byte
+}
+
+// DeliveryError is the typed failure of a reliable multicast: the
+// destinations that never completed, and whether a network partition (as
+// opposed to an exhausted retry budget) caused it. The Result returned
+// alongside still describes everything that did complete.
+type DeliveryError struct {
+	Orphaned    []int
+	Partitioned bool
+}
+
+// Error formats the failure.
+func (e *DeliveryError) Error() string {
+	cause := "retry budget exhausted"
+	if e.Partitioned {
+		cause = "network partitioned"
+	}
+	return fmt.Sprintf("reliable: %d destination(s) undelivered (%s): %v",
+		len(e.Orphaned), cause, e.Orphaned)
+}
+
+// Deliver multicasts payload from the plan's tree root to every other tree
+// node under the fault plan, retransmitting and repairing as needed. It
+// always returns a Result; the error is a *DeliveryError when any
+// destination was left without the complete message (the fault-plan or
+// config validation errors are ordinary). The run is fully deterministic
+// for a fixed (system, plan, payload, config, fault plan).
+func Deliver(sys *core.System, plan *core.Plan, payload []byte, cfg Config, fp sim.FaultPlan) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	faults, err := fp.Arm()
+	if err != nil {
+		return nil, err
+	}
+	pkts, err := message.Packetize(cfg.MsgID, plan.Tree.Root(), payload, cfg.Params.PacketBytes)
+	if err != nil {
+		return nil, err
+	}
+	mc := newMachine(sys, plan, pkts, cfg, faults)
+	mc.run()
+	return mc.finish()
+}
+
+// finish assembles the Result and the typed error after the event loop
+// drains.
+func (mc *machine) finish() (*Result, error) {
+	res := mc.res
+	res.Faults = mc.faults.Stats
+	root := mc.root
+	for v, n := range mc.nodes {
+		if v == root {
+			continue
+		}
+		if n.haveCount == mc.m {
+			res.Delivered[v] = n.reasm.Bytes()
+		} else {
+			res.Orphaned = append(res.Orphaned, v)
+		}
+	}
+	sort.Ints(res.Orphaned)
+	for _, t := range res.HostDone {
+		if t > res.Latency {
+			res.Latency = t
+		}
+	}
+	if len(res.Orphaned) > 0 {
+		return res, &DeliveryError{Orphaned: res.Orphaned, Partitioned: res.Partitioned}
+	}
+	return res, nil
+}

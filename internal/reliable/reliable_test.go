@@ -1,0 +1,280 @@
+package reliable
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/analytic"
+	"repro/internal/core"
+	"repro/internal/message"
+	"repro/internal/sim"
+	"repro/internal/stepsim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// payloadFor builds a deterministic payload spanning exactly m packets
+// under the given params.
+func payloadFor(m int, p sim.Params, seed uint64) []byte {
+	chunk := p.PacketBytes - message.HeaderSize
+	data := make([]byte, m*chunk)
+	rng := workload.NewRNG(seed)
+	for i := range data {
+		data[i] = byte(rng.Uint64())
+	}
+	return data
+}
+
+func irregular64(seed uint64) *core.System {
+	return core.NewIrregularSystem(topology.DefaultIrregular(), seed)
+}
+
+// TestLosslessMatchesSim is the zero-fault acceptance gate: under an empty
+// fault plan the reliable protocol must reproduce the lossless engine's
+// schedule exactly — same latency to the microsecond, same per-host
+// completion times, same injection count, zero retransmissions.
+func TestLosslessMatchesSim(t *testing.T) {
+	cfg := DefaultConfig()
+	systems := []struct {
+		name string
+		sys  *core.System
+	}{
+		{"irregular-seed1", irregular64(1)},
+		{"irregular-seed7", irregular64(7)},
+		{"cube-2x4", core.NewCubeSystem(2, 4)},
+	}
+	for _, sc := range systems {
+		for _, policy := range []core.TreePolicy{core.OptimalTree, core.BinomialTree, core.LinearTree} {
+			for _, nd := range []int{7, 15} {
+				spec := core.Spec{Source: 0, Dests: seqDests(1, nd), Packets: 4, Policy: policy}
+				plan := sc.sys.Plan(spec)
+				payload := payloadFor(4, cfg.Params, 42)
+				res, err := Deliver(sc.sys, plan, payload, cfg, sim.FaultPlan{})
+				if err != nil {
+					t.Fatalf("%s/%v/%d dests: %v", sc.name, policy, nd, err)
+				}
+				want := sim.Multicast(sc.sys.Router, plan.Tree, res.Packets, cfg.Params, stepsim.FPFS)
+				if res.Latency != want.Latency {
+					t.Errorf("%s/%v/%d dests: latency %f, lossless engine %f",
+						sc.name, policy, nd, res.Latency, want.Latency)
+				}
+				if !reflect.DeepEqual(res.HostDone, want.HostDone) {
+					t.Errorf("%s/%v/%d dests: HostDone diverged from lossless engine",
+						sc.name, policy, nd)
+				}
+				if res.Sends != want.Sends || res.Retransmits != 0 {
+					t.Errorf("%s/%v/%d dests: sends=%d retransmits=%d, lossless engine sends=%d",
+						sc.name, policy, nd, res.Sends, res.Retransmits, want.Sends)
+				}
+				if res.ChannelWait != want.ChannelWait {
+					t.Errorf("%s/%v/%d dests: channel wait %f, lossless %f",
+						sc.name, policy, nd, res.ChannelWait, want.ChannelWait)
+				}
+				checkPayloads(t, res, spec.Dests, payload)
+			}
+		}
+	}
+}
+
+func seqDests(lo, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = lo + i
+	}
+	return out
+}
+
+func checkPayloads(t *testing.T, res *Result, dests []int, payload []byte) {
+	t.Helper()
+	for _, d := range dests {
+		got, ok := res.Delivered[d]
+		if !ok {
+			t.Fatalf("destination %d missing from Delivered", d)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("destination %d payload differs from original", d)
+		}
+	}
+}
+
+// TestDropRecovery: under packet loss every destination still receives the
+// message byte-exactly, with retransmissions doing the work.
+func TestDropRecovery(t *testing.T) {
+	sys := irregular64(3)
+	cfg := DefaultConfig()
+	spec := core.Spec{Source: 0, Dests: seqDests(1, 63), Packets: 8, Policy: core.OptimalTree}
+	plan := sys.Plan(spec)
+	payload := payloadFor(8, cfg.Params, 99)
+	for _, p := range []float64{0.01, 0.05, 0.2} {
+		res, err := Deliver(sys, plan, payload, cfg, sim.FaultPlan{Seed: 5, DropRate: p})
+		if err != nil {
+			t.Fatalf("p=%f: %v", p, err)
+		}
+		if res.Faults.Dropped == 0 || res.Retransmits < res.Faults.Dropped {
+			t.Errorf("p=%f: dropped=%d retransmits=%d — retransmission not engaged",
+				p, res.Faults.Dropped, res.Retransmits)
+		}
+		checkPayloads(t, res, spec.Dests, payload)
+	}
+}
+
+// TestExpectedSendsModel checks the 1/(1-p) closed form: mean injections
+// per (edge, packet) over several seeds must match within 5%.
+func TestExpectedSendsModel(t *testing.T) {
+	sys := irregular64(2)
+	cfg := DefaultConfig()
+	spec := core.Spec{Source: 0, Dests: seqDests(1, 63), Packets: 16, Policy: core.OptimalTree}
+	plan := sys.Plan(spec)
+	payload := payloadFor(16, cfg.Params, 7)
+	edges := plan.Tree.Size() - 1
+	for _, p := range []float64{0.01, 0.05} {
+		sends := 0
+		runs := 6
+		for seed := uint64(1); seed <= uint64(runs); seed++ {
+			res, err := Deliver(sys, plan, payload, cfg, sim.FaultPlan{Seed: seed, DropRate: p})
+			if err != nil {
+				t.Fatalf("p=%f seed=%d: %v", p, seed, err)
+			}
+			sends += res.Sends
+		}
+		got := float64(sends) / float64(runs)
+		want := analytic.ExpectedTreeSends(edges, plan.Spec.Packets, p)
+		if dev := math.Abs(got-want) / want; dev > 0.05 {
+			t.Errorf("p=%f: mean sends %f, model %f (deviation %.1f%%)", p, got, want, 100*dev)
+		}
+	}
+}
+
+// TestCorruptionNacked: corrupted packets are rejected by the receiving
+// NI's checksum, NACKed, retransmitted, and the message still arrives
+// intact.
+func TestCorruptionNacked(t *testing.T) {
+	sys := irregular64(4)
+	cfg := DefaultConfig()
+	spec := core.Spec{Source: 2, Dests: seqDests(3, 31), Packets: 8, Policy: core.BinomialTree}
+	plan := sys.Plan(spec)
+	payload := payloadFor(8, cfg.Params, 11)
+	res, err := Deliver(sys, plan, payload, cfg, sim.FaultPlan{Seed: 9, CorruptRate: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.Corrupted == 0 {
+		t.Fatal("fault plan injected no corruption")
+	}
+	if res.Nacks == 0 {
+		t.Error("corruption produced no NACKs")
+	}
+	checkPayloads(t, res, spec.Dests, payload)
+}
+
+// TestAckLossDuplicates: lost ACKs force redundant retransmissions that
+// receivers must suppress; delivery stays byte-exact.
+func TestAckLossDuplicates(t *testing.T) {
+	sys := irregular64(5)
+	cfg := DefaultConfig()
+	spec := core.Spec{Source: 0, Dests: seqDests(1, 31), Packets: 6, Policy: core.OptimalTree}
+	plan := sys.Plan(spec)
+	payload := payloadFor(6, cfg.Params, 13)
+	res, err := Deliver(sys, plan, payload, cfg, sim.FaultPlan{Seed: 21, AckDropRate: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.AcksLost == 0 {
+		t.Fatal("fault plan lost no ACKs")
+	}
+	if res.Duplicates == 0 {
+		t.Error("lost ACKs produced no suppressed duplicates")
+	}
+	checkPayloads(t, res, spec.Dests, payload)
+}
+
+// TestRetryBudgetExhaustion: without any killed link, budget exhaustion
+// under extreme loss abandons the subtree with a typed error.
+func TestRetryBudgetExhaustion(t *testing.T) {
+	sys := irregular64(6)
+	cfg := DefaultConfig()
+	cfg.RetryBudget = 1
+	spec := core.Spec{Source: 0, Dests: seqDests(1, 7), Packets: 2, Policy: core.LinearTree}
+	plan := sys.Plan(spec)
+	payload := payloadFor(2, cfg.Params, 17)
+	res, err := Deliver(sys, plan, payload, cfg, sim.FaultPlan{Seed: 3, DropRate: 0.9})
+	if err == nil {
+		t.Skip("seed delivered despite 90% loss; pick another seed")
+	}
+	var de *DeliveryError
+	if !errors.As(err, &de) {
+		t.Fatalf("error %v is not a *DeliveryError", err)
+	}
+	if de.Partitioned {
+		t.Error("pure loss misreported as partition")
+	}
+	if len(de.Orphaned) == 0 || !reflect.DeepEqual(de.Orphaned, res.Orphaned) {
+		t.Errorf("orphan lists inconsistent: err=%v result=%v", de.Orphaned, res.Orphaned)
+	}
+	for _, d := range res.Orphaned {
+		if _, ok := res.Delivered[d]; ok {
+			t.Errorf("host %d both orphaned and delivered", d)
+		}
+	}
+}
+
+// TestDeterminism: identical inputs produce identical results, field for
+// field — the protocol has no hidden entropy.
+func TestDeterminism(t *testing.T) {
+	sys := irregular64(8)
+	cfg := DefaultConfig()
+	spec := core.Spec{Source: 0, Dests: seqDests(1, 63), Packets: 8, Policy: core.OptimalTree}
+	plan := sys.Plan(spec)
+	payload := payloadFor(8, cfg.Params, 23)
+	fp := sim.FaultPlan{Seed: 77, DropRate: 0.05, CorruptRate: 0.01, AckDropRate: 0.05}
+	a, errA := Deliver(sys, plan, payload, cfg, fp)
+	b, errB := Deliver(sys, plan, payload, cfg, fp)
+	if (errA == nil) != (errB == nil) {
+		t.Fatalf("error mismatch: %v vs %v", errA, errB)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("two runs with identical inputs diverged")
+	}
+}
+
+// TestParallelDeliver exercises concurrent independent deliveries for the
+// race detector: machines share no mutable state.
+func TestParallelDeliver(t *testing.T) {
+	sys := irregular64(9)
+	cfg := DefaultConfig()
+	spec := core.Spec{Source: 0, Dests: seqDests(1, 31), Packets: 4, Policy: core.OptimalTree}
+	plan := sys.Plan(spec)
+	payload := payloadFor(4, cfg.Params, 29)
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		seed := uint64(i + 1)
+		go func() {
+			_, err := Deliver(sys, plan, payload, cfg, sim.FaultPlan{Seed: seed, DropRate: 0.02})
+			done <- err
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// TestConfigValidation rejects broken configs and plans.
+func TestConfigValidation(t *testing.T) {
+	sys := irregular64(1)
+	spec := core.Spec{Source: 0, Dests: seqDests(1, 3), Packets: 1, Policy: core.OptimalTree}
+	plan := sys.Plan(spec)
+	bad := DefaultConfig()
+	bad.RetryBudget = 0
+	if _, err := Deliver(sys, plan, []byte{1}, bad, sim.FaultPlan{}); err == nil {
+		t.Error("zero retry budget accepted")
+	}
+	cfg := DefaultConfig()
+	if _, err := Deliver(sys, plan, []byte{1}, cfg, sim.FaultPlan{DropRate: 1.5}); err == nil {
+		t.Error("invalid fault plan accepted")
+	}
+}

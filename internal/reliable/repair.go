@@ -1,0 +1,229 @@
+package reliable
+
+import (
+	"errors"
+
+	"repro/internal/routing"
+	"repro/internal/topology"
+	"repro/internal/tree"
+)
+
+// orphan handles a tree edge whose retry budget is spent: the edge dies,
+// and the subtree hanging off it is repaired onto surviving routes — or
+// abandoned when the network genuinely cannot reach it anymore.
+func (mc *machine) orphan(es *edgeState) {
+	if es.dead {
+		return
+	}
+	from, to := es.from, es.to
+	mc.killEdge(es)
+	mc.repair(from, to)
+}
+
+// killEdge retires one edge incarnation: late ACKs, timers and queued ops
+// all check dead/gen and become no-ops; the child leaves the parent's
+// forwarding set.
+func (mc *machine) killEdge(es *edgeState) {
+	es.dead = true
+	p := mc.nodes[es.from]
+	for i, c := range p.children {
+		if c == es.to {
+			p.children = append(p.children[:i], p.children[i+1:]...)
+			break
+		}
+	}
+	mc.nodes[es.to].parent = -1
+}
+
+// repair re-parents the incomplete nodes of the subtree rooted at `to`
+// onto a fresh k-binomial subtree under `from`, routed around every link
+// the fault plan has killed so far. Orphans that are unreachable (killed
+// host link, or behind a partitioning kill) or that have been re-grafted
+// too often are abandoned instead. With no kills in effect the budget
+// exhaustion was genuine loss, and the subtree is abandoned outright.
+func (mc *machine) repair(from, to int) {
+	mc.applyKills()
+	orphans := mc.incompleteSubtree(to)
+	if len(orphans) == 0 {
+		return
+	}
+	var reachable []int
+	for _, v := range orphans {
+		switch {
+		case mc.repairUnavailable || len(mc.applied) == 0,
+			mc.nodes[v].regrafts >= maxRegrafts,
+			!mc.hostReachable(from, v):
+			mc.abandon(v)
+		default:
+			reachable = append(reachable, v)
+		}
+	}
+	if len(reachable) == 0 {
+		return
+	}
+	for _, v := range reachable {
+		mc.detach(v)
+		mc.nodes[v].regrafts++
+	}
+	chain := mc.sys.Ord.Chain(from, reachable)
+	sub := tree.KBinomial(chain, mc.k)
+	added := map[int][]int{}
+	var order []int
+	for _, e := range sub.Edges() {
+		if _, ok := added[e.Parent]; !ok {
+			order = append(order, e.Parent)
+		}
+		added[e.Parent] = append(added[e.Parent], e.Child)
+		mc.nodes[e.Parent].children = append(mc.nodes[e.Parent].children, e.Child)
+		mc.nodes[e.Child].parent = e.Parent
+		mc.newEdge(e.Parent, e.Child)
+	}
+	// Each new parent replays the packets it already holds to its grafted
+	// children (packet-major, like the root's FPFS seeding); packets it
+	// still lacks forward on arrival through the normal receive path.
+	for _, u := range order {
+		un := mc.nodes[u]
+		for j := 0; j < mc.m; j++ {
+			if !un.have[j] {
+				continue
+			}
+			for _, c := range added[u] {
+				un.queue = append(un.queue, op{u, c, j, mc.edges[[2]int{u, c}].gen})
+			}
+		}
+		mc.pump(u)
+	}
+	mc.res.Repairs++
+}
+
+// applyKills folds every link kill scheduled at or before now into the
+// routed system view. Removable links rebuild routing on the degraded
+// network (dense link renumbering tracked in origToCur/curToOrig); a kill
+// that would partition the switch graph, or that severs a host's only
+// link, stays in the graph as a dead bridge — no surviving route needs
+// it, and reachability classification abandons the far side.
+func (mc *machine) applyKills() {
+	changed := false
+	for _, l := range mc.faults.KilledLinks(mc.eng.Now()) {
+		if mc.applied[l] {
+			continue
+		}
+		mc.applied[l] = true
+		cur := mc.origToCur[l]
+		if cur < 0 {
+			continue
+		}
+		link := mc.sys.Net.Link(cur)
+		if link.A.Kind == topology.HostNode || link.B.Kind == topology.HostNode {
+			mc.res.Partitioned = true
+			continue
+		}
+		next, err := mc.sys.WithoutLinkChecked(cur)
+		if err != nil {
+			var pe *topology.PartitionError
+			if errors.As(err, &pe) {
+				mc.res.Partitioned = true
+				continue
+			}
+			// No rebuild machinery for this system (e.g. cube routing):
+			// orphans can only be abandoned.
+			mc.repairUnavailable = true
+			return
+		}
+		mc.curToOrig = append(append([]int(nil), mc.curToOrig[:cur]...), mc.curToOrig[cur+1:]...)
+		mc.origToCur[l] = -1
+		for o, c := range mc.origToCur {
+			if c > cur {
+				mc.origToCur[o] = c - 1
+			}
+		}
+		mc.sys = next
+		mc.degraded = true
+		changed = true
+	}
+	if changed {
+		mc.routes = map[[2]int]routing.Route{}
+	}
+}
+
+// hostReachable reports whether host v is reachable from host u over the
+// current system view minus the dead bridges applyKills left in place.
+func (mc *machine) hostReachable(u, v int) bool {
+	net := mc.sys.Net
+	if mc.applied[mc.curToOrig[net.HostLink(v).ID]] || mc.applied[mc.curToOrig[net.HostLink(u).ID]] {
+		return false
+	}
+	src, dst := net.HostSwitch(u), net.HostSwitch(v)
+	if src == dst {
+		return true
+	}
+	seen := make([]bool, net.NumSwitches())
+	seen[src] = true
+	stack := []int{src}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, lid := range net.SwitchLinks(s) {
+			if mc.applied[mc.curToOrig[lid]] {
+				continue
+			}
+			o := net.Link(lid).Other(topology.Switch(s))
+			if o.Kind != topology.SwitchNode || seen[o.Index] {
+				continue
+			}
+			seen[o.Index] = true
+			stack = append(stack, o.Index)
+		}
+	}
+	return seen[dst]
+}
+
+// incompleteSubtree collects the not-yet-complete, not-abandoned nodes in
+// the subtree currently rooted at v (v included), preorder.
+func (mc *machine) incompleteSubtree(v int) []int {
+	var out []int
+	var walk func(u int)
+	walk = func(u int) {
+		n := mc.nodes[u]
+		if n.haveCount < mc.m && !n.abandoned {
+			out = append(out, u)
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(v)
+	return out
+}
+
+// detach unlinks v from its current parent, killing the incoming edge if
+// it is still live.
+func (mc *machine) detach(v int) {
+	n := mc.nodes[v]
+	if n.parent < 0 {
+		return
+	}
+	if es := mc.edges[[2]int{n.parent, v}]; es != nil && !es.dead {
+		mc.killEdge(es)
+		return
+	}
+	n.parent = -1
+}
+
+// abandon gives up on v: it is detached, its outgoing edges die (its
+// incomplete children are processed by the same repair pass), and it is
+// excluded from future repair rounds. Packets already in flight to v may
+// still land — finish() reports actual completion, not intent.
+func (mc *machine) abandon(v int) {
+	n := mc.nodes[v]
+	if n.abandoned {
+		return
+	}
+	n.abandoned = true
+	mc.detach(v)
+	for _, c := range append([]int(nil), n.children...) {
+		if es := mc.edges[[2]int{v, c}]; es != nil && !es.dead {
+			mc.killEdge(es)
+		}
+	}
+}

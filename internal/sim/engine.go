@@ -129,6 +129,7 @@ type Engine struct {
 	seq      int64
 	events   eventHeap
 	chanFree []float64 // directed channel -> earliest free time
+	faults   *FaultState
 }
 
 // NewEngine creates an engine for a network with the given channel count.
@@ -138,6 +139,14 @@ func NewEngine(numChannels int) *Engine {
 
 // Now returns the current simulation time.
 func (e *Engine) Now() float64 { return e.now }
+
+// SetFaults arms a fault state on the engine; nil disarms. The protocol
+// layers consult Faults() on every injection and receipt.
+func (e *Engine) SetFaults(f *FaultState) { e.faults = f }
+
+// Faults returns the armed fault state (nil when lossless). All FaultState
+// sampling methods are nil-safe, so callers need not check.
+func (e *Engine) Faults() *FaultState { return e.faults }
 
 // At schedules fn at absolute time t (>= now).
 func (e *Engine) At(t float64, fn func()) {

@@ -1,0 +1,243 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/netiface"
+	"repro/internal/routing"
+	"repro/internal/workload"
+)
+
+// LinkKill schedules the death of one bidirectional link at an absolute
+// simulation time: from At on, both directed channels silently eat every
+// packet injected across them.
+type LinkKill struct {
+	Link int     // link ID in the network the router was built for
+	At   float64 // microseconds
+}
+
+// HostStall freezes one host's NI send engine during a time window (see
+// netiface.Stall); receives continue, injections wait the window out.
+type HostStall struct {
+	Host  int
+	Stall netiface.Stall
+}
+
+// FaultPlan describes the dynamic faults of one simulated run. The plan is
+// fully deterministic: probabilistic faults are sampled from a private
+// splitmix64 stream seeded by Seed, in event order, so a (plan, workload)
+// pair replays identically. The zero value is the lossless plan.
+type FaultPlan struct {
+	Seed        uint64  // seed of the fault-sampling RNG
+	DropRate    float64 // per-transmission data-packet loss probability
+	CorruptRate float64 // per-transmission byte-corruption probability
+	AckDropRate float64 // control-packet (ACK/NACK) loss probability
+	Stalls      []HostStall
+	Kills       []LinkKill
+}
+
+// Validate reports the first invalid field.
+func (p FaultPlan) Validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{{"drop", p.DropRate}, {"corrupt", p.CorruptRate}, {"ack-drop", p.AckDropRate}} {
+		if r.v < 0 || r.v >= 1 {
+			return fmt.Errorf("sim: %s rate %f outside [0, 1)", r.name, r.v)
+		}
+	}
+	for _, s := range p.Stalls {
+		if s.Host < 0 {
+			return fmt.Errorf("sim: stall on negative host %d", s.Host)
+		}
+		if _, err := netiface.NormalizeStalls([]netiface.Stall{s.Stall}); err != nil {
+			return err
+		}
+	}
+	for _, k := range p.Kills {
+		if k.Link < 0 || k.At < 0 {
+			return fmt.Errorf("sim: invalid link kill %+v", k)
+		}
+	}
+	return nil
+}
+
+// Zero reports whether the plan injects no faults at all, so callers can
+// take the lossless fast path.
+func (p FaultPlan) Zero() bool {
+	return p.DropRate == 0 && p.CorruptRate == 0 && p.AckDropRate == 0 &&
+		len(p.Stalls) == 0 && len(p.Kills) == 0
+}
+
+// FaultStats counts the faults one run actually injected.
+type FaultStats struct {
+	Dropped   int     // data packets lost in transit
+	Corrupted int     // data packets delivered with damaged bytes
+	AcksLost  int     // control packets (ACK/NACK) lost
+	DeadSends int     // injections across an already-killed link (lost)
+	StallWait float64 // total injection delay caused by NI stalls (us)
+}
+
+// Total returns the number of discrete fault events (StallWait excluded).
+func (s FaultStats) Total() int {
+	return s.Dropped + s.Corrupted + s.AcksLost + s.DeadSends
+}
+
+// FaultState is one run's armed fault plan: a private RNG, normalized
+// per-host stall windows, and the kill schedule, plus the running
+// counters. Arm a fresh state per run; it is not safe for concurrent use.
+// All sampling methods are nil-receiver-safe and fault-free on nil, so the
+// simulator can consult an unarmed state unconditionally.
+type FaultState struct {
+	rng                    *workload.RNG
+	drop, corrupt, ackDrop float64
+	stalls                 map[int][]netiface.Stall
+	killAt                 map[int]float64
+	Stats                  FaultStats
+}
+
+// Arm validates the plan and builds its per-run state.
+func (p FaultPlan) Arm() (*FaultState, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	f := &FaultState{
+		rng:    workload.NewRNG(p.Seed),
+		stalls: map[int][]netiface.Stall{},
+		killAt: map[int]float64{},
+	}
+	f.drop, f.corrupt, f.ackDrop = p.DropRate, p.CorruptRate, p.AckDropRate
+	byHost := map[int][]netiface.Stall{}
+	for _, s := range p.Stalls {
+		byHost[s.Host] = append(byHost[s.Host], s.Stall)
+	}
+	for h, ws := range byHost {
+		norm, err := netiface.NormalizeStalls(ws)
+		if err != nil {
+			return nil, err
+		}
+		f.stalls[h] = norm
+	}
+	for _, k := range p.Kills {
+		if t, ok := f.killAt[k.Link]; !ok || k.At < t {
+			f.killAt[k.Link] = k.At
+		}
+	}
+	return f, nil
+}
+
+// MustArm is Arm for plans known valid; it panics on error.
+func (p FaultPlan) MustArm() *FaultState {
+	f, err := p.Arm()
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// SampleDrop draws one data-loss decision.
+func (f *FaultState) SampleDrop() bool {
+	if f == nil || f.drop == 0 {
+		return false
+	}
+	if f.rng.Float64() < f.drop {
+		f.Stats.Dropped++
+		return true
+	}
+	return false
+}
+
+// SampleCorrupt draws one corruption decision.
+func (f *FaultState) SampleCorrupt() bool {
+	if f == nil || f.corrupt == 0 {
+		return false
+	}
+	if f.rng.Float64() < f.corrupt {
+		f.Stats.Corrupted++
+		return true
+	}
+	return false
+}
+
+// SampleAckDrop draws one control-packet-loss decision.
+func (f *FaultState) SampleAckDrop() bool {
+	if f == nil || f.ackDrop == 0 {
+		return false
+	}
+	if f.rng.Float64() < f.ackDrop {
+		f.Stats.AcksLost++
+		return true
+	}
+	return false
+}
+
+// CorruptByte picks the byte offset to damage in a packet of the given
+// length, from the same deterministic stream as the fault decisions.
+func (f *FaultState) CorruptByte(packetLen int) int {
+	if f == nil || packetLen <= 0 {
+		return 0
+	}
+	return f.rng.Intn(packetLen)
+}
+
+// Jitter returns a uniform draw in [0, frac) used to de-synchronize
+// retransmission backoff; 0 on a nil state or non-positive frac.
+func (f *FaultState) Jitter(frac float64) float64 {
+	if f == nil || frac <= 0 {
+		return 0
+	}
+	return f.rng.Float64() * frac
+}
+
+// StallDelay returns how long host h's send engine attempted at time t must
+// wait, accumulating the delay into the stats.
+func (f *FaultState) StallDelay(h int, t float64) float64 {
+	if f == nil {
+		return 0
+	}
+	d := netiface.StallDelay(f.stalls[h], t)
+	f.Stats.StallWait += d
+	return d
+}
+
+// LinkDead reports whether the link is killed at or before time t.
+func (f *FaultState) LinkDead(link int, t float64) bool {
+	if f == nil {
+		return false
+	}
+	at, ok := f.killAt[link]
+	return ok && t >= at
+}
+
+// RouteDead reports whether any channel of the route crosses a link that is
+// dead when the packet enters the network at time t, counting the lost
+// injection when so. Channel c belongs to link c/2 (topology.Link.Channel).
+func (f *FaultState) RouteDead(r routing.Route, t float64) bool {
+	if f == nil || len(f.killAt) == 0 {
+		return false
+	}
+	for _, c := range r.Channels {
+		if f.LinkDead(c/2, t) {
+			f.Stats.DeadSends++
+			return true
+		}
+	}
+	return false
+}
+
+// KilledLinks returns the link IDs with a scheduled kill at or before t,
+// ascending — the set a repair pass must route around.
+func (f *FaultState) KilledLinks(t float64) []int {
+	if f == nil {
+		return nil
+	}
+	var out []int
+	for l, at := range f.killAt {
+		if t >= at {
+			out = append(out, l)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

@@ -39,6 +39,13 @@ type ConcurrentResult struct {
 	Sends       int
 	// Makespan is when the last session's last destination completed.
 	Makespan float64
+	// Faults counts the faults injected during the run (zero value when
+	// the run was lossless).
+	Faults FaultStats
+	// Incomplete is, per session, the nodes starved by lost packets and
+	// how many packets each is missing. Always nil for lossless runs; this
+	// engine does not retransmit (package reliable does).
+	Incomplete []map[int]int
 }
 
 // MaxLatency returns the largest per-session latency.
@@ -100,6 +107,7 @@ type concSim struct {
 	routes map[[2]int]routing.Route
 	res    *ConcurrentResult
 	trace  *[]TraceEvent
+	faults *FaultState
 }
 
 // Concurrent simulates several multicast sessions sharing one network and
@@ -110,9 +118,27 @@ func Concurrent(router routing.Router, sessions []Session, p Params, disc stepsi
 	return res
 }
 
+// ConcurrentFaulty is Concurrent under a fault plan: dropped, corrupted,
+// stalled and dead-link transmissions are injected per plan as the run
+// unfolds, and the fault counters land in the result. This engine has no
+// retransmission — lost packets starve their subtree, reported via
+// Incomplete — which is precisely the gap package reliable closes.
+func ConcurrentFaulty(router routing.Router, sessions []Session, p Params, disc stepsim.Discipline, plan FaultPlan) (*ConcurrentResult, error) {
+	fs, err := plan.Arm()
+	if err != nil {
+		return nil, err
+	}
+	res, _ := concurrentRun(router, sessions, p, disc, false, fs)
+	return res, nil
+}
+
 // ConcurrentTraced is Concurrent with optional event recording. With
 // traced=false it returns a nil event slice at zero cost.
 func ConcurrentTraced(router routing.Router, sessions []Session, p Params, disc stepsim.Discipline, traced bool) (*ConcurrentResult, []TraceEvent) {
+	return concurrentRun(router, sessions, p, disc, traced, nil)
+}
+
+func concurrentRun(router routing.Router, sessions []Session, p Params, disc stepsim.Discipline, traced bool, faults *FaultState) (*ConcurrentResult, []TraceEvent) {
 	if err := p.Validate(); err != nil {
 		panic(err)
 	}
@@ -132,7 +158,9 @@ func ConcurrentTraced(router routing.Router, sessions []Session, p Params, disc 
 			Sessions:    make([]SessionResult, len(sessions)),
 			MaxBuffered: map[int]int{},
 		},
+		faults: faults,
 	}
+	s.eng.SetFaults(faults)
 	var events []TraceEvent
 	if traced {
 		s.trace = &events
@@ -191,16 +219,30 @@ func ConcurrentTraced(router routing.Router, sessions []Session, p Params, disc 
 	for si, sess := range sessions {
 		for _, v := range sess.Tree.Nodes() {
 			if got := s.nis[v].sess[si].received; got != sess.Packets {
-				panic(fmt.Sprintf("sim: session %d node %d received %d of %d packets",
-					si, v, got, sess.Packets))
+				if faults == nil {
+					panic(fmt.Sprintf("sim: session %d node %d received %d of %d packets",
+						si, v, got, sess.Packets))
+				}
+				if s.res.Incomplete == nil {
+					s.res.Incomplete = make([]map[int]int, len(sessions))
+				}
+				if s.res.Incomplete[si] == nil {
+					s.res.Incomplete[si] = map[int]int{}
+				}
+				s.res.Incomplete[si][v] = sess.Packets - got
 			}
 		}
 		last := 0.0
 		for _, t := range s.res.Sessions[si].HostDone {
 			last = math.Max(last, t)
 		}
-		s.res.Sessions[si].Latency = last - sess.Start
+		if last > 0 {
+			s.res.Sessions[si].Latency = last - sess.Start
+		}
 		s.res.Makespan = math.Max(s.res.Makespan, last)
+	}
+	if faults != nil {
+		s.res.Faults = faults.Stats
 	}
 	for v, ni := range s.nis {
 		forwarder := false
@@ -268,7 +310,7 @@ func (s *concSim) startOne(v int, ni *hostNI) {
 	ni.queue = ni.queue[1:]
 	ni.inFlight++
 	route := s.routes[[2]int{v, o.to}]
-	earliest := s.eng.Now() + s.p.TNISend
+	earliest := s.eng.Now() + s.faults.StallDelay(v, s.eng.Now()) + s.p.TNISend
 	start, arrive := s.eng.ReservePath(route, earliest, s.wire, s.p.RouterDelay)
 	s.res.ChannelWait += start - earliest
 	s.res.Sends++
@@ -287,6 +329,13 @@ func (s *concSim) startOne(v int, ni *hostNI) {
 		}
 		s.pump(v)
 	})
+	// Fault plane: a transmission across a killed link, a sampled drop, or
+	// a sampled corruption (discarded by the receiving NI's checksum) never
+	// delivers. The sender still paid t_ns and the channel holds — loss is
+	// detected only by the absence of the packet, as on real fabrics.
+	if s.faults.RouteDead(route, start) || s.faults.SampleDrop() || s.faults.SampleCorrupt() {
+		return
+	}
 	s.eng.At(arrive+s.p.TNIRecv, func() { s.deliver(o.sess, o.to, o.packet) })
 }
 

@@ -1,17 +1,20 @@
-package topology
+package topology_test
 
 import (
+	"errors"
 	"testing"
 
+	"repro/internal/routing"
+	"repro/internal/topology"
 	"repro/internal/workload"
 )
 
 func TestWithoutLinkRemovesExactlyOne(t *testing.T) {
-	net := Irregular(DefaultIrregular(), workload.NewRNG(1))
+	net := topology.Irregular(topology.DefaultIrregular(), workload.NewRNG(1))
 	// Pick a switch-switch link.
-	var victim Link
+	var victim topology.Link
 	for _, l := range net.Links() {
-		if l.A.Kind == SwitchNode && l.B.Kind == SwitchNode {
+		if l.A.Kind == topology.SwitchNode && l.B.Kind == topology.SwitchNode {
 			victim = l
 			break
 		}
@@ -37,7 +40,7 @@ func TestWithoutLinkRemovesExactlyOne(t *testing.T) {
 }
 
 func TestWithoutLinkRejectsHostLinks(t *testing.T) {
-	net := Irregular(DefaultIrregular(), workload.NewRNG(2))
+	net := topology.Irregular(topology.DefaultIrregular(), workload.NewRNG(2))
 	hostLink := net.HostLink(0)
 	defer func() {
 		if recover() == nil {
@@ -48,7 +51,7 @@ func TestWithoutLinkRejectsHostLinks(t *testing.T) {
 }
 
 func TestWithoutLinkOutOfRange(t *testing.T) {
-	net := Irregular(DefaultIrregular(), workload.NewRNG(3))
+	net := topology.Irregular(topology.DefaultIrregular(), workload.NewRNG(3))
 	defer func() {
 		if recover() == nil {
 			t.Error("expected panic for bad link id")
@@ -58,10 +61,10 @@ func TestWithoutLinkOutOfRange(t *testing.T) {
 }
 
 func TestWithoutLinkChannelIDsDense(t *testing.T) {
-	net := Irregular(DefaultIrregular(), workload.NewRNG(4))
-	var victim Link
+	net := topology.Irregular(topology.DefaultIrregular(), workload.NewRNG(4))
+	var victim topology.Link
 	for _, l := range net.Links() {
-		if l.A.Kind == SwitchNode && l.B.Kind == SwitchNode {
+		if l.A.Kind == topology.SwitchNode && l.B.Kind == topology.SwitchNode {
 			victim = l
 			break
 		}
@@ -74,5 +77,89 @@ func TestWithoutLinkChannelIDsDense(t *testing.T) {
 	}
 	if faulty.NumChannels() != 2*len(faulty.Links()) {
 		t.Error("channel count inconsistent")
+	}
+}
+
+func TestWithoutLinkCheckedErrors(t *testing.T) {
+	net := topology.Irregular(topology.DefaultIrregular(), workload.NewRNG(5))
+	if _, err := net.WithoutLinkChecked(-1); err == nil {
+		t.Error("expected error for out-of-range id")
+	}
+	if _, err := net.WithoutLinkChecked(net.HostLink(0).ID); err == nil {
+		t.Error("expected error for host link")
+	}
+}
+
+// TestWithoutLinkProperty is the fault-plane safety property: for EVERY
+// removable (switch-switch) link of several random 64-host testbeds,
+// WithoutLinkChecked plus an up*/down* routing rebuild either keeps all 64
+// hosts mutually reachable over legal routes, or reports a typed
+// *PartitionError — never a panic, never a silently broken route table.
+func TestWithoutLinkProperty(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		net := topology.Irregular(topology.DefaultIrregular(), workload.NewRNG(seed))
+		for _, l := range net.Links() {
+			if l.A.Kind != topology.SwitchNode || l.B.Kind != topology.SwitchNode {
+				continue
+			}
+			degraded, err := net.WithoutLinkChecked(l.ID)
+			if err != nil {
+				var pe *topology.PartitionError
+				if !errors.As(err, &pe) {
+					t.Fatalf("seed %d link %d: untyped error %v", seed, l.ID, err)
+				}
+				if pe.Link != l.ID {
+					t.Fatalf("seed %d: partition error names link %d, removed %d", seed, pe.Link, l.ID)
+				}
+				// A partition claim must be real: the raw removal must be
+				// disconnected.
+				if net.WithoutLink(l.ID).Connected() {
+					t.Fatalf("seed %d link %d: spurious partition error", seed, l.ID)
+				}
+				continue
+			}
+			router := routing.NewUpDown(degraded)
+			hosts := degraded.NumHosts()
+			for a := 0; a < hosts; a++ {
+				for b := 0; b < hosts; b++ {
+					if a == b {
+						continue
+					}
+					r := router.Route(a, b)
+					if len(r.Channels) == 0 {
+						t.Fatalf("seed %d link %d: no route %d->%d after rebuild", seed, l.ID, a, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLinkIDAfterRemoval(t *testing.T) {
+	net := topology.Irregular(topology.DefaultIrregular(), workload.NewRNG(6))
+	var victim topology.Link
+	for _, l := range net.Links() {
+		if l.A.Kind == topology.SwitchNode && l.B.Kind == topology.SwitchNode {
+			victim = l
+			break
+		}
+	}
+	degraded := net.WithoutLink(victim.ID)
+	for _, l := range net.Links() {
+		newID, ok := topology.LinkIDAfterRemoval(l.ID, victim.ID)
+		if l.ID == victim.ID {
+			if ok {
+				t.Fatal("removed link still mapped")
+			}
+			continue
+		}
+		if !ok {
+			t.Fatalf("surviving link %d unmapped", l.ID)
+		}
+		nl := degraded.Link(newID)
+		if nl.A != l.A || nl.B != l.B {
+			t.Fatalf("link %d mapped to %d which joins %v-%v, want %v-%v",
+				l.ID, newID, nl.A, nl.B, l.A, l.B)
+		}
 	}
 }

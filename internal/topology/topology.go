@@ -409,10 +409,26 @@ func CubeCoord(s, arity, dims int) []int {
 	return coord
 }
 
+// PartitionError reports that removing a link would disconnect the switch
+// graph, leaving some hosts mutually unreachable. It is the typed failure
+// the fault-injection plane distinguishes from programming errors.
+type PartitionError struct {
+	Link int // the link whose removal partitions the network
+}
+
+func (e *PartitionError) Error() string {
+	return fmt.Sprintf("topology: removing link %d partitions the network", e.Link)
+}
+
 // WithoutLink returns a copy of the network with one switch-switch link
 // removed — the fault-injection primitive. Removing a host's only link is
 // rejected (the host would be unreachable by construction). Link IDs are
-// reassigned densely in the copy; host attachments are preserved.
+// reassigned densely in the copy; because links are copied in ascending ID
+// order, a surviving link with original ID i gets new ID i when i < id and
+// i-1 otherwise (see LinkIDAfterRemoval). Host attachments are preserved.
+//
+// WithoutLink panics on invalid IDs and host links; it does NOT check
+// connectivity (use WithoutLinkChecked for a typed partition error).
 func (n *Network) WithoutLink(id int) *Network {
 	if id < 0 || id >= len(n.links) {
 		panic(fmt.Sprintf("topology: link %d out of range [0,%d)", id, len(n.links)))
@@ -435,6 +451,39 @@ func (n *Network) WithoutLink(id int) *Network {
 		}
 	}
 	return b.net
+}
+
+// WithoutLinkChecked is WithoutLink with errors instead of panics: it
+// rejects out-of-range IDs and host links with ordinary errors, and returns
+// a *PartitionError when the removal disconnects the switch graph.
+func (n *Network) WithoutLinkChecked(id int) (*Network, error) {
+	if id < 0 || id >= len(n.links) {
+		return nil, fmt.Errorf("topology: link %d out of range [0,%d)", id, len(n.links))
+	}
+	victim := n.links[id]
+	if victim.A.Kind == HostNode || victim.B.Kind == HostNode {
+		return nil, fmt.Errorf("topology: cannot fail host link %d (%v-%v)", id, victim.A, victim.B)
+	}
+	net := n.WithoutLink(id)
+	if !net.Connected() {
+		return nil, &PartitionError{Link: id}
+	}
+	return net, nil
+}
+
+// LinkIDAfterRemoval maps a link ID of this network to its ID in the
+// network WithoutLink(removed) returns, and false for the removed link
+// itself. The event simulator uses it to translate routes computed on a
+// degraded copy back onto the original channel space.
+func LinkIDAfterRemoval(id, removed int) (int, bool) {
+	switch {
+	case id == removed:
+		return -1, false
+	case id > removed:
+		return id - 1, true
+	default:
+		return id, true
+	}
 }
 
 // Mesh builds an arity^dims mesh: like Cube but without wrap-around links,

@@ -134,6 +134,25 @@ func (t *Tree) Edges() []Edge {
 	return out
 }
 
+// SubtreeNodes returns v and every descendant of v in preorder, children in
+// send order — the set of hosts severed when the edge into v dies. It
+// returns nil if v is not in the tree.
+func (t *Tree) SubtreeNodes(v int) []int {
+	if !t.Contains(v) {
+		return nil
+	}
+	var out []int
+	var walk func(u int)
+	walk = func(u int) {
+		out = append(out, u)
+		for _, c := range t.children[u] {
+			walk(c)
+		}
+	}
+	walk(v)
+	return out
+}
+
 // Validate checks structural invariants: exactly the given participants are
 // present, parent/child maps agree, and there are no cycles. It returns an
 // error describing the first violation found.

@@ -303,3 +303,53 @@ func subtreeSize(t *Tree, v int) int {
 	}
 	return n
 }
+
+func TestSubtreeNodes(t *testing.T) {
+	for n := 1; n <= 40; n++ {
+		for k := 1; k <= 4; k++ {
+			tr := KBinomial(chainN(n), k)
+			// The root's subtree is the whole tree, in the same preorder
+			// Edges walks.
+			all := tr.SubtreeNodes(tr.Root())
+			want := []int{tr.Root()}
+			for _, e := range tr.Edges() {
+				want = append(want, e.Child)
+			}
+			if !reflect.DeepEqual(all, want) {
+				t.Fatalf("n=%d k=%d: root subtree %v, want preorder %v", n, k, all, want)
+			}
+			// Every node's subtree contains exactly the nodes whose
+			// parent chain passes through it, and starts at the node.
+			for v := 0; v < n; v++ {
+				sub := tr.SubtreeNodes(v)
+				if len(sub) == 0 || sub[0] != v {
+					t.Fatalf("n=%d k=%d: subtree of %d = %v, must start at %d", n, k, v, sub, v)
+				}
+				in := make(map[int]bool, len(sub))
+				for _, u := range sub {
+					in[u] = true
+				}
+				for u := 0; u < n; u++ {
+					want := false
+					for w := u; ; {
+						if w == v {
+							want = true
+							break
+						}
+						p, ok := tr.Parent(w)
+						if !ok {
+							break
+						}
+						w = p
+					}
+					if in[u] != want {
+						t.Fatalf("n=%d k=%d: subtree of %d contains %d = %v, want %v", n, k, v, u, in[u], want)
+					}
+				}
+			}
+		}
+	}
+	if got := KBinomial(chainN(5), 2).SubtreeNodes(99); got != nil {
+		t.Fatalf("subtree of absent node = %v, want nil", got)
+	}
+}

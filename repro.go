@@ -35,6 +35,8 @@ import (
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/ktree"
+	"repro/internal/netiface"
+	"repro/internal/reliable"
 	"repro/internal/sim"
 	"repro/internal/stepsim"
 	"repro/internal/topology"
@@ -114,6 +116,42 @@ func DefaultIrregularConfig() IrregularConfig { return topology.DefaultIrregular
 
 // DefaultParams are the paper's Section 5.2 technology constants.
 func DefaultParams() Params { return sim.DefaultParams() }
+
+// Fault injection and reliable delivery (see internal/sim and
+// internal/reliable).
+type (
+	// FaultPlan describes the dynamic faults of one run: seeded packet
+	// drop/corruption/ACK-loss probabilities, NI stall windows, and
+	// scheduled link kills. The zero value is lossless.
+	FaultPlan = sim.FaultPlan
+	// LinkKill schedules the death of one link at an absolute time.
+	LinkKill = sim.LinkKill
+	// HostStall freezes one host's NI send engine during a window.
+	HostStall = sim.HostStall
+	// Stall is one half-open [From, Until) send-freeze window.
+	Stall = netiface.Stall
+	// FaultStats counts the faults a run actually injected.
+	FaultStats = sim.FaultStats
+	// ReliableConfig tunes the ACK/NACK retransmission protocol.
+	ReliableConfig = reliable.Config
+	// ReliableResult reports one reliable multicast delivery.
+	ReliableResult = reliable.Result
+	// DeliveryError is the typed failure when destinations stay
+	// undelivered (partition or exhausted retries).
+	DeliveryError = reliable.DeliveryError
+)
+
+// DefaultReliableConfig returns the reliable protocol defaults.
+func DefaultReliableConfig() ReliableConfig { return reliable.DefaultConfig() }
+
+// DeliverReliable multicasts payload over the plan's tree under a fault
+// plan, with per-packet ACK/NACK retransmission, duplicate suppression,
+// and mid-flight tree repair around killed links. Under a zero fault plan
+// it reproduces Simulate's FPFS latencies exactly. The error, when
+// non-nil, is a *DeliveryError listing the destinations given up on.
+func DeliverReliable(sys *System, plan *Plan, payload []byte, cfg ReliableConfig, fp FaultPlan) (*ReliableResult, error) {
+	return reliable.Deliver(sys, plan, payload, cfg, fp)
+}
 
 // CollectiveResult reports one collective operation (see package
 // internal/collectives).
