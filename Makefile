@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check figures clean
+.PHONY: all build test race vet fmt check mcastcheck ci figures clean
 
 all: check
 
@@ -25,6 +25,14 @@ fmt:
 	fi
 
 check: build vet fmt race
+
+# Differential testing harness (internal/check): a fixed-seed sweep large
+# enough to be meaningful but small enough for CI. Failures print shrunk
+# reproducers with replay tokens; see DESIGN.md §8.
+mcastcheck:
+	$(GO) run ./cmd/mcastcheck -n 500 -seed 1
+
+ci: check mcastcheck
 
 figures:
 	$(GO) run ./cmd/figures -out figures

@@ -128,6 +128,50 @@ func BenchmarkEventSimMulticast(b *testing.B) {
 	}
 }
 
+// --- reliable-delivery benchmarks ---
+
+// benchReliable measures one reliable multicast (31 destinations, ~16
+// packets of payload) under the given fault plan and reports the
+// retransmission overhead as custom metrics.
+func benchReliable(b *testing.B, fp repro.FaultPlan) {
+	sys := repro.NewIrregularSystem(repro.DefaultIrregularConfig(), 1)
+	rng := workload.NewRNG(1)
+	set := workload.DestSet(rng, 64, 32)
+	payload := make([]byte, 700)
+	for i := range payload {
+		payload[i] = byte(rng.Uint64())
+	}
+	plan := sys.Plan(repro.Spec{Source: set[0], Dests: set[1:], Packets: 1, Policy: repro.OptimalTree})
+	cfg := repro.DefaultReliableConfig()
+	var sends, retr int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := repro.DeliverReliable(sys, plan, payload, cfg, fp)
+		if err != nil {
+			b.Fatalf("reliable delivery failed: %v", err)
+		}
+		sends += res.Sends
+		retr += res.Retransmits
+	}
+	b.ReportMetric(float64(sends)/float64(b.N), "sends/op")
+	b.ReportMetric(float64(retr)/float64(b.N), "retransmits/op")
+	b.ReportMetric(float64(retr)/float64(sends), "retransmit-frac")
+}
+
+// BenchmarkReliableLossless measures the ACK/NACK machinery's overhead on a
+// fault-free network: same data plane as the lossless engine plus timer and
+// control bookkeeping, zero retransmissions.
+func BenchmarkReliableLossless(b *testing.B) {
+	benchReliable(b, repro.FaultPlan{})
+}
+
+// BenchmarkReliableLossyP01 measures the same delivery at 1% packet loss:
+// the retransmit-frac metric is the measured overhead to compare against
+// the 1/(1-p) expectation (~1% extra sends at p = 0.01).
+func BenchmarkReliableLossyP01(b *testing.B) {
+	benchReliable(b, repro.FaultPlan{Seed: 1, DropRate: 0.01})
+}
+
 // BenchmarkSystemGeneration measures random testbed generation (topology +
 // routing tables + CCO).
 func BenchmarkSystemGeneration(b *testing.B) {

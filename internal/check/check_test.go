@@ -1,0 +1,125 @@
+package check
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestSweep is the tier-1 harness budget: a small deterministic sweep that
+// must pass on every commit. The full nightly budget (mcastcheck -n 500)
+// runs the same code on more cases.
+func TestSweep(t *testing.T) {
+	report := Run(1, 120, 0)
+	if !report.OK() {
+		t.Fatalf("harness sweep failed:\n%s", report)
+	}
+	t.Log(report.String())
+}
+
+// TestGenerateDeterministic pins the replay-token contract: the same
+// (seed, case) cell always generates the identical instance.
+func TestGenerateDeterministic(t *testing.T) {
+	for c := 0; c < 60; c++ {
+		a, b := Generate(7, c), Generate(7, c)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("case %d not deterministic:\n  %s\n  %s", c, a, b)
+		}
+	}
+	if reflect.DeepEqual(Generate(7, 0), Generate(8, 0)) {
+		t.Fatalf("seeds 7 and 8 generated the same case 0")
+	}
+}
+
+// TestGenerateValid checks that generated instances are valid by
+// construction — Validate is a guard for shrinker mutations, and must
+// never fire on the generator's own output.
+func TestGenerateValid(t *testing.T) {
+	for c := 0; c < 300; c++ {
+		inst := Generate(3, c)
+		if err := inst.Validate(); err != nil {
+			t.Fatalf("case %d generated invalid instance %s: %v", c, inst, err)
+		}
+	}
+}
+
+// TestGenerateCoverage checks the generator actually exercises the whole
+// evaluation space: all topology families, all disciplines, lossless and
+// lossy fault plans, k=1 chains and binomial trees.
+func TestGenerateCoverage(t *testing.T) {
+	topos := map[TopoKind]int{}
+	discs := map[string]int{}
+	var lossy, lossless, chains, multiPacket int
+	for c := 0; c < 300; c++ {
+		inst := Generate(1, c)
+		topos[inst.Topo]++
+		discs[inst.Disc.String()]++
+		if inst.DropRate > 0 {
+			lossy++
+		} else {
+			lossless++
+		}
+		if inst.K == 1 {
+			chains++
+		}
+		if inst.Packets > 1 {
+			multiPacket++
+		}
+	}
+	for _, k := range []TopoKind{TopoIrregular, TopoCube, TopoMesh} {
+		if topos[k] == 0 {
+			t.Errorf("no %s instances in 300 cases", k)
+		}
+	}
+	if len(discs) != 3 {
+		t.Errorf("disciplines seen: %v, want all 3", discs)
+	}
+	if lossy == 0 || lossless == 0 {
+		t.Errorf("fault plan coverage: %d lossy, %d lossless", lossy, lossless)
+	}
+	if chains == 0 || multiPacket == 0 {
+		t.Errorf("plan coverage: %d chains, %d multi-packet", chains, multiPacket)
+	}
+}
+
+// TestCatalogue checks catalogue hygiene: unique IDs, non-empty docs, and a
+// working lookup.
+func TestCatalogue(t *testing.T) {
+	seen := map[string]bool{}
+	for _, inv := range Invariants {
+		if inv.ID == "" || inv.Doc == "" || inv.Check == nil {
+			t.Fatalf("incomplete invariant %+v", inv)
+		}
+		if seen[inv.ID] {
+			t.Fatalf("duplicate invariant ID %q", inv.ID)
+		}
+		seen[inv.ID] = true
+		got, ok := InvariantByID(inv.ID)
+		if !ok || got.ID != inv.ID {
+			t.Fatalf("InvariantByID(%q) lookup failed", inv.ID)
+		}
+	}
+	if _, ok := InvariantByID("no-such-invariant"); ok {
+		t.Fatalf("InvariantByID matched a nonexistent ID")
+	}
+}
+
+// TestCheckRejectsInvalid checks that a structurally broken instance is
+// reported as a violation, not a panic.
+func TestCheckRejectsInvalid(t *testing.T) {
+	vs := Check(Instance{})
+	if len(vs) != 1 || vs[0].ID != "invalid-instance" {
+		t.Fatalf("Check(zero instance) = %v, want one invalid-instance violation", vs)
+	}
+}
+
+// TestFailureToken pins the replay token format documented in DESIGN.md §8.
+func TestFailureToken(t *testing.T) {
+	f := Failure{Case: 137, Seed: 42}
+	if got, want := f.Token(), "mcastcheck -seed 42 -case 137"; got != want {
+		t.Fatalf("Token() = %q, want %q", got, want)
+	}
+	if !strings.Contains(f.String(), f.Token()) {
+		t.Fatalf("failure rendering does not include the replay token:\n%s", f.String())
+	}
+}

@@ -1,0 +1,79 @@
+package check
+
+import (
+	"repro/internal/ktree"
+	"repro/internal/stepsim"
+	"repro/internal/workload"
+)
+
+// caseMix is the per-case seed spread constant (same role as the golden
+// ratio increment inside splitmix64 itself): distinct cases of one harness
+// seed draw from decorrelated streams.
+const caseMix = 0x51_7cc1b7_2722_0a95
+
+// caseRNG returns the deterministic generator for one (seed, case) cell.
+// Every random decision of the case — generation, payload, fault sampling
+// seeds — derives from this stream, so a replay token pins them all.
+func caseRNG(seed uint64, c int) *workload.RNG {
+	return workload.NewRNG(seed ^ caseMix*uint64(c+1))
+}
+
+// Generate derives case c of the given harness seed: a fully-specified
+// Instance. The distribution deliberately covers the paper's whole
+// evaluation space — irregular/cube/mesh topologies, all three NI
+// disciplines, optimal/binomial/linear/fixed-k trees, informed and
+// uninformed orderings, lossless and lossy fault plans — while keeping
+// sizes small enough that 500 cases run in seconds.
+func Generate(seed uint64, c int) Instance {
+	rng := caseRNG(seed, c)
+	inst := Instance{}
+
+	switch rng.Intn(3) {
+	case 0:
+		inst.Topo = TopoIrregular
+		inst.Switches = 2 + rng.Intn(5) // 2..6
+		inst.HostsPer = 1 + rng.Intn(3) // 1..3
+		// Ports: the hosts plus 2..4 spare ports for inter-switch cables
+		// (two spares per switch guarantee the random spanning tree can
+		// always chain the switches).
+		inst.Ports = inst.HostsPer + 2 + rng.Intn(3)
+		inst.TopoSeed = rng.Uint64()
+		inst.IdentityOrd = rng.Intn(4) == 0
+	case 1:
+		inst.Topo = TopoCube
+		inst.Arity = 2 + rng.Intn(3) // 2..4
+		inst.Dims = 1 + rng.Intn(3)  // 1..3
+	default:
+		inst.Topo = TopoMesh
+		inst.Arity = 2 + rng.Intn(3)
+		inst.Dims = 1 + rng.Intn(3)
+		inst.IdentityOrd = rng.Intn(4) == 0
+	}
+
+	hosts := inst.Hosts()
+	destCount := 1 + rng.Intn(hosts-1)
+	set := workload.DestSet(rng, hosts, destCount)
+	inst.Source, inst.Dests = set[0], set[1:]
+
+	inst.Packets = 1 + rng.Intn(8)
+	inst.Disc = stepsim.Discipline(rng.Intn(3))
+
+	n := destCount + 1
+	switch rng.Intn(4) {
+	case 0:
+		inst.K = 0 // Theorem-3 optimal
+	case 1:
+		inst.K = ktree.CeilLog2(n) // binomial baseline
+	case 2:
+		inst.K = 1 // linear chain
+	default:
+		inst.K = 1 + rng.Intn(ktree.CeilLog2(n)) // arbitrary fixed k
+	}
+
+	if rng.Intn(2) == 0 {
+		inst.DropRate = 0.02 + 0.13*rng.Float64() // 0.02 .. 0.15
+	}
+	inst.FaultSeed = rng.Uint64()
+	inst.PayloadBytes = rng.Intn(300)
+	return inst
+}

@@ -1,0 +1,110 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Failure is one failing case: the generated instance, every violated
+// invariant, the shrunk minimal reproducer, and the replay token that
+// regenerates both.
+type Failure struct {
+	Case       int
+	Seed       uint64
+	Instance   Instance
+	Violations []Violation
+	// Shrunk is the greedy minimization of Instance under the first
+	// violated invariant; ShrunkViolation is that invariant re-evaluated
+	// on it (the detail usually gets much easier to read).
+	Shrunk          Instance
+	ShrunkViolation Violation
+}
+
+// Token returns the one-line replay token for this failure. Generation,
+// checking and shrinking are all deterministic functions of (seed, case),
+// so this token reproduces the shrunk counterexample exactly.
+func (f *Failure) Token() string {
+	return fmt.Sprintf("mcastcheck -seed %d -case %d", f.Seed, f.Case)
+}
+
+// String renders the failure for humans: violation, instance, minimal
+// reproducer, replay token.
+func (f *Failure) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "case %d: %d invariant violation(s)\n", f.Case, len(f.Violations))
+	for _, v := range f.Violations {
+		fmt.Fprintf(&b, "  %s\n", v)
+	}
+	fmt.Fprintf(&b, "  instance: %s\n", f.Instance)
+	fmt.Fprintf(&b, "  shrunk:   %s\n", f.Shrunk)
+	fmt.Fprintf(&b, "  shrunk violation: %s\n", f.ShrunkViolation)
+	fmt.Fprintf(&b, "  replay:   %s\n", f.Token())
+	return b.String()
+}
+
+// Report summarizes one harness run.
+type Report struct {
+	Seed     uint64
+	Cases    int
+	Failures []Failure
+}
+
+// OK reports whether every case passed every invariant.
+func (r *Report) OK() bool { return len(r.Failures) == 0 }
+
+// String renders the report.
+func (r *Report) String() string {
+	if r.OK() {
+		return fmt.Sprintf("check: %d cases from seed %d, %d invariants each: all passed",
+			r.Cases, r.Seed, len(Invariants))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "check: %d cases from seed %d: %d FAILED\n", r.Cases, r.Seed, len(r.Failures))
+	for i := range r.Failures {
+		b.WriteString(r.Failures[i].String())
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// RunCase generates, checks, and (on violation) shrinks a single case.
+// It returns nil when the case passes.
+func RunCase(seed uint64, c int) *Failure {
+	inst := Generate(seed, c)
+	violations := Check(inst)
+	if len(violations) == 0 {
+		return nil
+	}
+	shrunk := Shrink(inst, violations[0].ID)
+	sv := Violation{ID: violations[0].ID, Detail: "(no longer reproduced on shrunk instance)"}
+	for _, v := range Check(shrunk) {
+		if v.ID == violations[0].ID {
+			sv = v
+			break
+		}
+	}
+	return &Failure{
+		Case:            c,
+		Seed:            seed,
+		Instance:        inst,
+		Violations:      violations,
+		Shrunk:          shrunk,
+		ShrunkViolation: sv,
+	}
+}
+
+// Run checks cases [0, n) of the seed, shrinking every failure. maxFail
+// stops the run early once that many cases have failed (0 = no limit), so
+// a systematically broken engine does not pay the shrink cost n times.
+func Run(seed uint64, n, maxFail int) *Report {
+	r := &Report{Seed: seed, Cases: n}
+	for c := 0; c < n; c++ {
+		if f := RunCase(seed, c); f != nil {
+			r.Failures = append(r.Failures, *f)
+			if maxFail > 0 && len(r.Failures) >= maxFail {
+				r.Cases = c + 1
+				break
+			}
+		}
+	}
+	return r
+}

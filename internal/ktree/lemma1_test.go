@@ -1,0 +1,94 @@
+package ktree
+
+import "testing"
+
+// bruteCoverage computes N(s, k) by exhaustive search instead of the Lemma-1
+// rolling-window recurrence: a node with s steps remaining and c children
+// already spawned either idles this step or (if c < k) spawns a new child,
+// which then grows its own subtree with s-1 steps. The maximum over all such
+// send/idle schedules is the best coverage any degree-k tree can achieve in
+// s steps — derived without assuming the closed recurrence, so the two
+// implementations can only agree if Lemma 1 is right.
+func bruteCoverage(s, k int) int {
+	memo := map[[2]int]int{}
+	var grow func(s, c int) int
+	grow = func(s, c int) int {
+		if s == 0 || c == k {
+			return 1
+		}
+		key := [2]int{s, c}
+		if v, ok := memo[key]; ok {
+			return v
+		}
+		best := grow(s-1, c) // idle
+		if send := grow(s-1, c+1) + grow(s-1, 0); send > best {
+			best = send
+		}
+		memo[key] = best
+		return best
+	}
+	return grow(s, 0)
+}
+
+// TestCoverageMatchesBruteForce checks Lemma 1's recurrence against the
+// exhaustive schedule search for every s <= 12 and every meaningful fanout
+// bound, including the k = ceil(log2 n) binomial and k = 1 chain extremes.
+func TestCoverageMatchesBruteForce(t *testing.T) {
+	for s := 0; s <= 12; s++ {
+		for k := 1; k <= 12; k++ {
+			want := bruteCoverage(s, k)
+			if got := Coverage(s, k); got != want {
+				t.Errorf("Coverage(%d, %d) = %d, brute force says %d", s, k, got, want)
+			}
+		}
+	}
+}
+
+// TestCoverageEdgeCases pins the two closed-form corners of Lemma 1: the
+// k = 1 chain covers one new node per step (N(s,1) = s+1), and within the
+// binomial prefix (s <= k) coverage doubles every step (N(s,k) = 2^s).
+func TestCoverageEdgeCases(t *testing.T) {
+	for s := 0; s <= 20; s++ {
+		if got := Coverage(s, 1); got != s+1 {
+			t.Errorf("Coverage(%d, 1) = %d, want %d (chain)", s, got, s+1)
+		}
+	}
+	for k := 1; k <= 16; k++ {
+		for s := 0; s <= k; s++ {
+			if got := Coverage(s, k); got != 1<<s {
+				t.Errorf("Coverage(%d, %d) = %d, want 2^%d (binomial prefix)", s, k, got, s)
+			}
+		}
+	}
+}
+
+// TestSteps1MatchesBruteForce checks t1(n, k) against the brute-force
+// coverage: t1 must be the smallest s whose exhaustive coverage reaches n.
+// The range covers every n reachable within 12 steps for small k, and for
+// each n both the binomial bound k = ceil(log2 n) and the k = 1 chain
+// (t1(n,1) = n-1).
+func TestSteps1MatchesBruteForce(t *testing.T) {
+	for k := 1; k <= 6; k++ {
+		maxN := bruteCoverage(12, k)
+		if maxN > 256 {
+			maxN = 256
+		}
+		for n := 1; n <= maxN; n++ {
+			want := 0
+			for bruteCoverage(want, k) < n {
+				want++
+			}
+			if got := Steps1(n, k); got != want {
+				t.Errorf("Steps1(%d, %d) = %d, brute force says %d", n, k, got, want)
+			}
+		}
+	}
+	for n := 2; n <= 64; n++ {
+		if got := Steps1(n, CeilLog2(n)); got != CeilLog2(n) {
+			t.Errorf("Steps1(%d, ceil) = %d, want %d (binomial tree)", n, got, CeilLog2(n))
+		}
+		if got := Steps1(n, 1); got != n-1 {
+			t.Errorf("Steps1(%d, 1) = %d, want %d (chain)", n, got, n-1)
+		}
+	}
+}
