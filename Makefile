@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check mcastcheck ci figures clean
+.PHONY: all build test race vet fmt check staticcheck mcastcheck soak ci figures clean
 
 all: check
 
@@ -26,13 +26,27 @@ fmt:
 
 check: build vet fmt race
 
+# Static analysis beyond vet, when the tool is available. Nothing is
+# downloaded: machines without staticcheck on PATH skip it with a note.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not on PATH; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
 # Differential testing harness (internal/check): a fixed-seed sweep large
 # enough to be meaningful but small enough for CI. Failures print shrunk
 # reproducers with replay tokens; see DESIGN.md §8.
 mcastcheck:
 	$(GO) run ./cmd/mcastcheck -n 500 -seed 1
 
-ci: check mcastcheck
+# Soak: a larger fixed-seed harness sweep — including the crash catalogue
+# (failure detection, epoch fencing, adoption) — under the race detector.
+soak:
+	$(GO) run -race ./cmd/mcastcheck -n 2000 -seed 2
+
+ci: check staticcheck mcastcheck
 
 figures:
 	$(GO) run ./cmd/figures -out figures

@@ -7,6 +7,7 @@
 //	         [-k 3] [-ni fpfs|fcfs|conventional] [-model packet|flit]
 //	         [-wseed 7] [-verbose] [-timeline]
 //	         [-reliable] [-droprate 0.01] [-faults "kill:74@40,corrupt:0.01"] [-retries 8]
+//	         [-crash HOST@T] [-crash HOST@T@RT] [-quorum Q]
 //
 // Example:
 //
@@ -21,6 +22,12 @@
 // routed around mid-flight. -faults is a comma-separated list of
 // directives: kill:LINK@T, stall:HOST@FROM-UNTIL, corrupt:P, ackdrop:P,
 // seed:N.
+//
+// -crash HOST@T crash-stops a host at time T (microseconds); the
+// repeatable -crash HOST@T@RT form recovers it at RT. Crashes arm the
+// heartbeat failure detector: the run prints every epoch-numbered group
+// view installed while the session reconfigured, and -quorum Q accepts a
+// partial delivery of at least Q destinations instead of failing.
 package main
 
 import (
@@ -53,6 +60,9 @@ func main() {
 	droprate := flag.Float64("droprate", 0, "per-transmission packet loss probability [0,1)")
 	faultSpec := flag.String("faults", "", "fault directives: kill:LINK@T,stall:HOST@FROM-UNTIL,corrupt:P,ackdrop:P,seed:N")
 	retries := flag.Int("retries", 8, "retransmissions per (tree edge, packet) before orphaning")
+	var crashes crashFlags
+	flag.Var(&crashes, "crash", "crash a host: HOST@T (crash-stop) or HOST@T@RT (recover at RT); repeatable")
+	quorum := flag.Int("quorum", 0, "destinations required for partial delivery under crashes (0 = all)")
 	flag.Parse()
 
 	sys := repro.NewIrregularSystem(repro.DefaultIrregularConfig(), *seed)
@@ -98,13 +108,13 @@ func main() {
 	}
 	plan := sys.Plan(spec)
 
-	if *reliableRun || *droprate > 0 || *faultSpec != "" {
+	if *reliableRun || *droprate > 0 || *faultSpec != "" || len(crashes) > 0 {
 		if *ni != "fpfs" || *model != "packet" {
 			fmt.Fprintln(os.Stderr, "mcastsim: reliable delivery supports -ni fpfs -model packet only")
 			os.Exit(1)
 		}
 		fmt.Printf("system: %s (seed %d)\n", sys.Net.Summary(), *seed)
-		runReliable(sys, plan, *droprate, *faultSpec, *retries, *wseed, *verbose)
+		runReliable(sys, plan, *droprate, *faultSpec, crashes, *quorum, *retries, *wseed, *verbose)
 		return
 	}
 
@@ -150,6 +160,45 @@ func main() {
 		fmt.Println()
 		fmt.Print(trace.Collect(events).String())
 	}
+}
+
+// crashFlags collects repeatable -crash directives.
+type crashFlags []repro.HostCrash
+
+func (c *crashFlags) String() string {
+	parts := make([]string, len(*c))
+	for i, hc := range *c {
+		if hc.RecoverAt > 0 {
+			parts[i] = fmt.Sprintf("%d@%g@%g", hc.Host, hc.At, hc.RecoverAt)
+		} else {
+			parts[i] = fmt.Sprintf("%d@%g", hc.Host, hc.At)
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+func (c *crashFlags) Set(arg string) error {
+	fields := strings.Split(arg, "@")
+	if len(fields) != 2 && len(fields) != 3 {
+		return fmt.Errorf("crash %q is not HOST@T or HOST@T@RT", arg)
+	}
+	host, err := strconv.Atoi(fields[0])
+	if err != nil {
+		return fmt.Errorf("crash host %q: %v", fields[0], err)
+	}
+	at, err := strconv.ParseFloat(fields[1], 64)
+	if err != nil {
+		return fmt.Errorf("crash time %q: %v", fields[1], err)
+	}
+	hc := repro.HostCrash{Host: host, At: at}
+	if len(fields) == 3 {
+		hc.RecoverAt, err = strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return fmt.Errorf("crash recovery time %q: %v", fields[2], err)
+		}
+	}
+	*c = append(*c, hc)
+	return nil
 }
 
 // parseFaults turns the -faults directive list into a FaultPlan.
@@ -224,12 +273,13 @@ func parseFaults(spec string, droprate float64) (repro.FaultPlan, error) {
 
 // runReliable executes the plan under the reliable-delivery protocol and
 // prints the protocol and fault counters.
-func runReliable(sys *repro.System, plan *repro.Plan, droprate float64, faultSpec string, retries int, wseed uint64, verbose bool) {
+func runReliable(sys *repro.System, plan *repro.Plan, droprate float64, faultSpec string, crashes []repro.HostCrash, quorum, retries int, wseed uint64, verbose bool) {
 	fp, err := parseFaults(faultSpec, droprate)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mcastsim: -faults: %v\n", err)
 		os.Exit(1)
 	}
+	fp.Crashes = crashes
 	for _, k := range fp.Kills {
 		if k.Link < 0 || k.Link >= len(sys.Net.Links()) {
 			fmt.Fprintf(os.Stderr, "mcastsim: -faults: kill link %d out of range (network has links 0..%d)\n",
@@ -239,6 +289,7 @@ func runReliable(sys *repro.System, plan *repro.Plan, droprate float64, faultSpe
 	}
 	cfg := repro.DefaultReliableConfig()
 	cfg.RetryBudget = retries
+	cfg.Quorum = quorum
 	payload := make([]byte, plan.Spec.Packets*(cfg.Params.PacketBytes-message.HeaderSize))
 	prng := workload.NewRNG(wseed ^ 0x9e3779b97f4a7c15)
 	for i := range payload {
@@ -253,14 +304,19 @@ func runReliable(sys *repro.System, plan *repro.Plan, droprate float64, faultSpe
 
 	fmt.Printf("spec:   source h%d, %d destinations, %d packets (%d payload bytes), %s tree, reliable FPFS\n",
 		plan.Spec.Source, len(plan.Spec.Dests), res.Packets, len(payload), plan.Spec.Policy)
-	fmt.Printf("faults: drop=%g corrupt=%g ackdrop=%g kills=%d stalls=%d seed=%d\n",
-		fp.DropRate, fp.CorruptRate, fp.AckDropRate, len(fp.Kills), len(fp.Stalls), fp.Seed)
+	fmt.Printf("faults: drop=%g corrupt=%g ackdrop=%g kills=%d stalls=%d crashes=%d seed=%d\n",
+		fp.DropRate, fp.CorruptRate, fp.AckDropRate, len(fp.Kills), len(fp.Stalls), len(fp.Crashes), fp.Seed)
 	fmt.Printf("result: latency %.1f us, %d sends (%d retransmits), %d acks, %d nacks, %d duplicates suppressed\n",
 		res.Latency, res.Sends, res.Retransmits, res.Acks, res.Nacks, res.Duplicates)
 	fmt.Printf("        injected: %d dropped, %d corrupted, %d acks lost, %d dead-link sends, %.1f us stall wait\n",
 		res.Faults.Dropped, res.Faults.Corrupted, res.Faults.AcksLost, res.Faults.DeadSends, res.Faults.StallWait)
 	if res.Repairs > 0 {
 		fmt.Printf("        %d mid-flight tree repair(s) re-parented starved subtrees\n", res.Repairs)
+	}
+	if len(fp.Crashes) > 0 {
+		fmt.Printf("        crashes: %d applied, %d recoveries, %d crash-dropped packets, %d stale packets fenced, %d adoptions\n",
+			res.Faults.Crashes, res.Faults.Recoveries, res.Faults.CrashDrops, res.Fenced, res.Adoptions)
+		printViews(res.Views)
 	}
 	if verbose {
 		fmt.Println("\nper-destination completion (us):")
@@ -276,8 +332,54 @@ func runReliable(sys *repro.System, plan *repro.Plan, droprate float64, faultSpe
 		fmt.Fprintf(os.Stderr, "mcastsim: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("        all %d destinations received the %d-byte message byte-exactly\n",
-		len(res.Delivered), len(payload))
+	switch res.Status {
+	case repro.DeliveredPartial:
+		fmt.Printf("        status %s (epoch %d): %d of %d destinations received the %d-byte message byte-exactly; undelivered: %s\n",
+			res.Status, res.Epoch, len(res.Delivered), len(plan.Spec.Dests), len(payload), joinHosts(res.Orphaned))
+	default:
+		fmt.Printf("        status %s: all %d destinations received the %d-byte message byte-exactly\n",
+			res.Status, len(res.Delivered), len(payload))
+	}
+}
+
+// printViews renders the membership plane's epoch history as per-view
+// member diffs.
+func printViews(views []repro.GroupView) {
+	for i, v := range views {
+		if i == 0 {
+			fmt.Printf("        view epoch %d: initial, %d members\n", v.Epoch, len(v.Members))
+			continue
+		}
+		prev := map[int]bool{}
+		for _, h := range views[i-1].Members {
+			prev[h] = true
+		}
+		cur := map[int]bool{}
+		for _, h := range v.Members {
+			cur[h] = true
+		}
+		var diff []string
+		for _, h := range views[i-1].Members {
+			if !cur[h] {
+				diff = append(diff, fmt.Sprintf("-h%d", h))
+			}
+		}
+		for _, h := range v.Members {
+			if !prev[h] {
+				diff = append(diff, fmt.Sprintf("+h%d", h))
+			}
+		}
+		fmt.Printf("        view epoch %d @ %.1f us: %s (%d members)\n",
+			v.Epoch, v.At, strings.Join(diff, " "), len(v.Members))
+	}
+}
+
+func joinHosts(hs []int) string {
+	parts := make([]string, len(hs))
+	for i, h := range hs {
+		parts[i] = fmt.Sprintf("h%d", h)
+	}
+	return strings.Join(parts, " ")
 }
 
 func joinInts(xs []int) string {

@@ -91,6 +91,22 @@ type Instance struct {
 	// packet count is derived by message.Packetize, independent of
 	// Packets, which drives the timing engines).
 	PayloadBytes int
+
+	// Crashes schedules host crash faults for the crash-tolerance arm
+	// (at most two, destinations only — the harness never crashes the
+	// source, whose failure trivially fails the whole operation).
+	Crashes []CrashSpec
+}
+
+// CrashSpec schedules one host crash in abstract protocol steps; the
+// crash invariants map steps onto the simulator clock with the harness
+// calibration constants, so shrunk instances stay readable as integers.
+type CrashSpec struct {
+	Host   int
+	AtStep int // crash instant, in steps >= 1
+	// RecoverStep schedules a crash-recovery rejoin; 0 means crash-stop.
+	// When set it must exceed AtStep.
+	RecoverStep int
 }
 
 // Hosts returns the instance's host count.
@@ -166,6 +182,25 @@ func (in Instance) Validate() error {
 	if in.PayloadBytes < 0 || in.PayloadBytes > 1<<16 {
 		return fmt.Errorf("check: payload %d bytes", in.PayloadBytes)
 	}
+	if len(in.Crashes) > 2 {
+		return fmt.Errorf("check: %d crashes, at most 2", len(in.Crashes))
+	}
+	crashed := map[int]bool{}
+	for _, cr := range in.Crashes {
+		if cr.Host == in.Source || !seen[cr.Host] {
+			return fmt.Errorf("check: crash host %d is not a destination", cr.Host)
+		}
+		if crashed[cr.Host] {
+			return fmt.Errorf("check: duplicate crash host %d", cr.Host)
+		}
+		crashed[cr.Host] = true
+		if cr.AtStep < 1 || cr.AtStep > 256 {
+			return fmt.Errorf("check: crash step %d out of range [1,256]", cr.AtStep)
+		}
+		if cr.RecoverStep != 0 && (cr.RecoverStep <= cr.AtStep || cr.RecoverStep > 512) {
+			return fmt.Errorf("check: recovery step %d not after crash step %d", cr.RecoverStep, cr.AtStep)
+		}
+	}
 	return nil
 }
 
@@ -191,6 +226,13 @@ func (in Instance) String() string {
 		in.Hosts(), in.Source, in.Dests, in.Packets, in.Disc, k, ord)
 	if in.DropRate > 0 {
 		fmt.Fprintf(&b, " drop=%.3f fseed=%#x", in.DropRate, in.FaultSeed)
+	}
+	for _, cr := range in.Crashes {
+		if cr.RecoverStep > 0 {
+			fmt.Fprintf(&b, " crash=%d@%d..%d", cr.Host, cr.AtStep, cr.RecoverStep)
+		} else {
+			fmt.Fprintf(&b, " crash=%d@%d", cr.Host, cr.AtStep)
+		}
 	}
 	fmt.Fprintf(&b, " payload=%dB", in.PayloadBytes)
 	return b.String()

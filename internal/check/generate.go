@@ -75,5 +75,24 @@ func Generate(seed uint64, c int) Instance {
 	}
 	inst.FaultSeed = rng.Uint64()
 	inst.PayloadBytes = rng.Intn(300)
+
+	// Crash plans on roughly a third of the cases: one or (when the set
+	// allows) two destination hosts crash mid-protocol, each a coin flip
+	// between crash-stop and crash-recovery. Steps land in the protocol's
+	// busy early window so crashes actually interleave with delivery.
+	if rng.Intn(3) == 0 {
+		count := 1
+		if len(inst.Dests) > 1 && rng.Intn(3) == 0 {
+			count = 2
+		}
+		perm := rng.Perm(len(inst.Dests))
+		for i := 0; i < count; i++ {
+			cr := CrashSpec{Host: inst.Dests[perm[i]], AtStep: 1 + rng.Intn(24)}
+			if rng.Intn(2) == 0 {
+				cr.RecoverStep = cr.AtStep + 1 + rng.Intn(24)
+			}
+			inst.Crashes = append(inst.Crashes, cr)
+		}
+	}
 	return inst
 }

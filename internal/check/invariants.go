@@ -48,6 +48,9 @@ var Invariants = []Invariant{
 	{"flit-agree", "the flit-level simulator completes structurally and stays within band of the packet-level model", checkFlitAgree},
 	{"reliable-lossless-replay", "a zero-fault reliable run replays the lossless engine byte-exactly", checkReliableLosslessReplay},
 	{"reliable-loss-agreement", "lossy reliable runs deliver byte-exactly and their send counts match the 1/(1-p) expectation", checkReliableLossAgreement},
+	{"crash-no-posthumous-delivery", "a crash-stopped host is never recorded as completing after its crash instant", checkCrashNoPosthumousDelivery},
+	{"crash-epoch-monotone", "accepted packets carry nondecreasing epochs and installed views advance the epoch strictly", checkCrashEpochMonotone},
+	{"crash-survivor-bytes", "every surviving destination is delivered byte-exactly despite crashes, recoveries, and loss", checkCrashSurvivorBytes},
 }
 
 // InvariantByID returns the catalogue entry with the given ID.
@@ -358,10 +361,13 @@ func checkFlitAgree(w *world) error {
 
 // reliableConfig is the harness protocol configuration: the package
 // defaults with a deeper retry budget, so that at the harness's loss
-// rates (p <= 0.15) the probability of a spurious orphan is negligible.
+// rates (p <= 0.15) the probability of a spurious orphan is negligible,
+// and quorum 1, so crash instances report partial delivery instead of a
+// quorum error (the crash invariants judge the survivors directly).
 func reliableConfig() reliable.Config {
 	cfg := reliable.DefaultConfig()
 	cfg.RetryBudget = 20
+	cfg.Quorum = 1
 	return cfg
 }
 
@@ -426,6 +432,127 @@ func checkReliableLossAgreement(w *world) error {
 	if got := float64(res.Sends); math.Abs(got-want) > band {
 		return fmt.Errorf("p=%f: %d sends over %d edge-packets, expectation %f (band +/-%f): 1/(1-p) model violated",
 			p, res.Sends, attempts, want, band)
+	}
+	return nil
+}
+
+// --------------------------------------------------------------- crashes --
+
+// crashFaultPlan maps the instance's step-indexed crash schedule onto the
+// simulator clock: protocol step s lands at t_s + s*(t_ns + wire), the NI
+// injection cadence under the harness constants, so integer steps in a
+// shrunk instance stay aligned with protocol activity. The plan composes
+// the crashes with the instance's packet-loss stream.
+func (in Instance) crashFaultPlan(p sim.Params) sim.FaultPlan {
+	fp := sim.FaultPlan{Seed: in.FaultSeed, DropRate: in.DropRate}
+	tstep := p.TNISend + p.WireTime()
+	for _, cr := range in.Crashes {
+		hc := sim.HostCrash{Host: cr.Host, At: p.THostSend + float64(cr.AtStep)*tstep}
+		if cr.RecoverStep > 0 {
+			hc.RecoverAt = p.THostSend + float64(cr.RecoverStep)*tstep
+		}
+		fp.Crashes = append(fp.Crashes, hc)
+	}
+	return fp
+}
+
+// crashRun executes the crash-tolerance arm of the instance. The result is
+// inspected even when the typed error is non-nil (a lone destination that
+// crash-stops legitimately misses quorum 1); only a nil result — the
+// protocol refusing to run at all — is a harness-level failure.
+func (w *world) crashRun() (*reliable.Result, error) {
+	cfg := reliableConfig()
+	return reliable.Deliver(w.sys, w.plan, w.inst.payload(), cfg, w.inst.crashFaultPlan(cfg.Params))
+}
+
+func checkCrashNoPosthumousDelivery(w *world) error {
+	if len(w.inst.Crashes) == 0 {
+		return nil
+	}
+	res, err := w.crashRun()
+	if res == nil {
+		return fmt.Errorf("crash run produced no result: %v", err)
+	}
+	fp := w.inst.crashFaultPlan(reliableConfig().Params)
+	for _, hc := range fp.Crashes {
+		if hc.RecoverAt > 0 {
+			continue // a recovered host may finish after its crash
+		}
+		if t, ok := res.HostDone[hc.Host]; ok && t > hc.At {
+			return fmt.Errorf("host %d crash-stops at %f but is recorded done at %f", hc.Host, hc.At, t)
+		}
+		if _, delivered := res.Delivered[hc.Host]; delivered {
+			if _, done := res.HostDone[hc.Host]; !done {
+				return fmt.Errorf("host %d crash-stops at %f yet holds a payload with no completion record", hc.Host, hc.At)
+			}
+		}
+	}
+	return nil
+}
+
+func checkCrashEpochMonotone(w *world) error {
+	if len(w.inst.Crashes) == 0 {
+		return nil
+	}
+	res, err := w.crashRun()
+	if res == nil {
+		return fmt.Errorf("crash run produced no result: %v", err)
+	}
+	for i, a := range res.Accepts {
+		if a.Epoch < 1 || a.Epoch > res.Epoch {
+			return fmt.Errorf("accept %d at t=%f carries epoch %d outside [1,%d]", i, a.At, a.Epoch, res.Epoch)
+		}
+		if i > 0 {
+			prev := res.Accepts[i-1]
+			if a.Epoch < prev.Epoch {
+				return fmt.Errorf("accept %d at t=%f regressed to epoch %d after epoch %d", i, a.At, a.Epoch, prev.Epoch)
+			}
+			if a.At < prev.At {
+				return fmt.Errorf("accept %d at t=%f precedes accept %d at t=%f", i, a.At, i-1, prev.At)
+			}
+		}
+	}
+	for i, v := range res.Views {
+		if i == 0 && v.Epoch != 1 {
+			return fmt.Errorf("first installed view has epoch %d, want 1", v.Epoch)
+		}
+		if i > 0 && v.Epoch <= res.Views[i-1].Epoch {
+			return fmt.Errorf("view %d has epoch %d after epoch %d: views must advance strictly",
+				i, v.Epoch, res.Views[i-1].Epoch)
+		}
+	}
+	if len(res.Views) > 0 && res.Views[len(res.Views)-1].Epoch != res.Epoch {
+		return fmt.Errorf("final view epoch %d != result epoch %d", res.Views[len(res.Views)-1].Epoch, res.Epoch)
+	}
+	return nil
+}
+
+func checkCrashSurvivorBytes(w *world) error {
+	if len(w.inst.Crashes) == 0 {
+		return nil
+	}
+	res, err := w.crashRun()
+	if res == nil {
+		return fmt.Errorf("crash run produced no result: %v", err)
+	}
+	crashStopped := map[int]bool{}
+	for _, cr := range w.inst.Crashes {
+		if cr.RecoverStep == 0 {
+			crashStopped[cr.Host] = true
+		}
+	}
+	payload := w.inst.payload()
+	for _, d := range w.inst.Dests {
+		if crashStopped[d] {
+			continue
+		}
+		got, ok := res.Delivered[d]
+		if !ok {
+			return fmt.Errorf("survivor %d undelivered (status %v, epoch %d, err %v)", d, res.Status, res.Epoch, err)
+		}
+		if !bytes.Equal(got, payload) {
+			return fmt.Errorf("survivor %d received %d bytes, want the %d-byte payload", d, len(got), len(payload))
+		}
 	}
 	return nil
 }

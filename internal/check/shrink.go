@@ -64,14 +64,15 @@ func candidates(inst Instance) []Instance {
 	}
 
 	// 2. Shrink the destination set: halve, then drop one at a time.
+	// Crashes of dropped destinations are dropped with them.
 	if len(inst.Dests) > 1 {
 		c := inst
 		c.Dests = append([]int(nil), inst.Dests[:len(inst.Dests)/2]...)
-		add(clampK(c))
+		add(clampK(clampCrashes(c)))
 		for i := range inst.Dests {
 			c := inst
 			c.Dests = append(append([]int(nil), inst.Dests[:i]...), inst.Dests[i+1:]...)
-			add(clampK(c))
+			add(clampK(clampCrashes(c)))
 		}
 	}
 
@@ -96,7 +97,36 @@ func candidates(inst Instance) []Instance {
 		add(c)
 	}
 
-	// 4. Simplify the fault plan.
+	// 4. Simplify the fault plan: drop all crashes, drop one, turn a
+	// crash-recovery into a crash-stop, pull a crash earlier, then remove
+	// packet loss.
+	if len(inst.Crashes) > 0 {
+		c := inst
+		c.Crashes = nil
+		add(c)
+		for i := range inst.Crashes {
+			c := inst
+			c.Crashes = append(append([]CrashSpec(nil), inst.Crashes[:i]...), inst.Crashes[i+1:]...)
+			add(c)
+		}
+		for i, cr := range inst.Crashes {
+			if cr.RecoverStep > 0 {
+				c := inst
+				c.Crashes = append([]CrashSpec(nil), inst.Crashes...)
+				c.Crashes[i].RecoverStep = 0
+				add(c)
+			}
+			if cr.AtStep > 1 {
+				c := inst
+				c.Crashes = append([]CrashSpec(nil), inst.Crashes...)
+				c.Crashes[i].AtStep = cr.AtStep / 2
+				if r := c.Crashes[i].RecoverStep; r > 0 && r <= c.Crashes[i].AtStep {
+					c.Crashes[i].RecoverStep = c.Crashes[i].AtStep + 1
+				}
+				add(c)
+			}
+		}
+	}
 	if inst.DropRate > 0 {
 		c := inst
 		c.DropRate = 0
@@ -192,7 +222,23 @@ func clampParticipants(inst Instance) Instance {
 		src, dests = dests[0], dests[1:]
 	}
 	inst.Source, inst.Dests = src, dests
-	return clampK(inst)
+	return clampK(clampCrashes(inst))
+}
+
+// clampCrashes drops crash specs whose host is no longer a destination.
+func clampCrashes(inst Instance) Instance {
+	destSet := map[int]bool{}
+	for _, d := range inst.Dests {
+		destSet[d] = true
+	}
+	var crashes []CrashSpec
+	for _, cr := range inst.Crashes {
+		if destSet[cr.Host] {
+			crashes = append(crashes, cr)
+		}
+	}
+	inst.Crashes = crashes
+	return inst
 }
 
 // clampK keeps an explicit fanout bound meaningful for a shrunk set: a k

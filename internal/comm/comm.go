@@ -17,7 +17,9 @@ import (
 
 	"repro/internal/collectives"
 	"repro/internal/core"
+	"repro/internal/membership"
 	"repro/internal/message"
+	"repro/internal/reliable"
 	"repro/internal/sim"
 	"repro/internal/stepsim"
 	"repro/internal/workload"
@@ -130,6 +132,88 @@ func (g *Group) Bcast(root int, data []byte, p sim.Params) (*BcastResult, error)
 		out.Data[i] = got
 	}
 	return out, nil
+}
+
+// BcastReliableResult is the outcome of a fault-tolerant broadcast. Unlike
+// Bcast, it is defined under host crashes: instead of hanging or failing
+// opaquely, it reports per-rank delivery, the membership views installed
+// while the group reconfigured, and an explicit partial-delivery verdict.
+type BcastReliableResult struct {
+	// Data holds, per rank, the delivered message — nil for ranks the
+	// operation could not reach (the root's slot aliases the input).
+	Data [][]byte
+	// Status is the delivery verdict; Undelivered lists the ranks without
+	// the message, ascending (empty when Status == Delivered).
+	Status      reliable.Status
+	Undelivered []int
+	// Latency is the protocol completion time in microseconds.
+	Latency float64
+	// Packets is the message length in wire packets; K the tree fanout.
+	Packets int
+	K       int
+	// Epoch and Views expose the membership plane: the final epoch and
+	// every group view installed during the operation (nil when the fault
+	// plan schedules no crashes).
+	Epoch int
+	Views []membership.View
+	// Protocol is the underlying per-run detail (retransmissions, fault
+	// counters, adoptions, backpressure).
+	Protocol *reliable.Result
+}
+
+// BcastReliable broadcasts data from the root rank over the reliable
+// protocol under the given fault plan. The error is the protocol's typed
+// failure (*reliable.DeliveryError or *reliable.CrashError) when delivery
+// fell short of the config's quorum; on a quorum-satisfying partial
+// delivery the error is nil and Status/Undelivered carry the shortfall.
+func (g *Group) BcastReliable(root int, data []byte, cfg reliable.Config, fp sim.FaultPlan) (*BcastReliableResult, error) {
+	if root < 0 || root >= len(g.hosts) {
+		return nil, fmt.Errorf("comm: root rank %d out of range", root)
+	}
+	g.msgID++
+	cfg.MsgID = g.msgID
+	dests := make([]int, 0, len(g.hosts)-1)
+	for i, h := range g.hosts {
+		if i != root {
+			dests = append(dests, h)
+		}
+	}
+	pkts, err := message.Packetize(cfg.MsgID, g.hosts[root], data, cfg.Params.PacketBytes)
+	if err != nil {
+		return nil, err
+	}
+	spec := core.Spec{Source: g.hosts[root], Dests: dests, Packets: len(pkts), Policy: core.OptimalTree}
+	plan := g.sys.Plan(spec)
+	res, err := reliable.Deliver(g.sys, plan, data, cfg, fp)
+	if res == nil {
+		return nil, err
+	}
+	out := &BcastReliableResult{
+		Data:     make([][]byte, len(g.hosts)),
+		Status:   res.Status,
+		Latency:  res.Latency,
+		Packets:  res.Packets,
+		K:        plan.K,
+		Epoch:    res.Epoch,
+		Views:    res.Views,
+		Protocol: res,
+	}
+	out.Data[root] = data
+	for i, h := range g.hosts {
+		if i == root {
+			continue
+		}
+		got, ok := res.Delivered[h]
+		if !ok {
+			out.Undelivered = append(out.Undelivered, i)
+			continue
+		}
+		if !bytes.Equal(got, data) {
+			return nil, fmt.Errorf("comm: rank %d payload corrupted", i)
+		}
+		out.Data[i] = got
+	}
+	return out, err
 }
 
 // ScatterResult is the outcome of a scatter.

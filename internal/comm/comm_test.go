@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/reliable"
 	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/workload"
@@ -162,5 +163,76 @@ func TestBcastMsgIDsAdvance(t *testing.T) {
 	}
 	if g.msgID != 2 {
 		t.Errorf("msgID = %d, want 2", g.msgID)
+	}
+}
+
+// TestBcastReliableCrash: a crash-stop member does not hang or fail the
+// collective — the result surfaces the view change and the partial
+// delivery, and every surviving rank's copy is byte-exact.
+func TestBcastReliableCrash(t *testing.T) {
+	sys := testSys()
+	hosts := []int{3, 7, 12, 19, 25, 33, 40, 48}
+	g, err := New(sys, hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 700)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	cfg := reliable.DefaultConfig()
+	cfg.Quorum = 1
+	fp := sim.FaultPlan{Crashes: []sim.HostCrash{{Host: 19, At: 18}}}
+	res, err := g.BcastReliable(0, data, cfg, fp)
+	if err != nil {
+		t.Fatalf("quorum 1 must tolerate one crash: %v", err)
+	}
+	if res.Status != reliable.DeliveredPartial {
+		t.Errorf("status %v, want delivered-partial", res.Status)
+	}
+	crashedRank := g.Rank(19)
+	if len(res.Undelivered) != 1 || res.Undelivered[0] != crashedRank {
+		t.Errorf("undelivered ranks %v, want [%d]", res.Undelivered, crashedRank)
+	}
+	if res.Epoch != 2 || len(res.Views) != 2 {
+		t.Errorf("epoch %d with %d views, want one view change", res.Epoch, len(res.Views))
+	}
+	for r := range hosts {
+		if r == crashedRank {
+			if res.Data[r] != nil {
+				t.Errorf("crashed rank %d has data", r)
+			}
+			continue
+		}
+		if !bytes.Equal(res.Data[r], data) {
+			t.Errorf("rank %d payload differs", r)
+		}
+	}
+}
+
+// TestBcastReliableLossless: with no faults the reliable collective
+// delivers everywhere with a clean verdict and no membership artifacts.
+func TestBcastReliableLossless(t *testing.T) {
+	sys := testSys()
+	g, err := New(sys, []int{0, 5, 9, 23, 44})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 300)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	res, err := g.BcastReliable(0, data, reliable.DefaultConfig(), sim.FaultPlan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != reliable.Delivered || len(res.Undelivered) != 0 || res.Views != nil {
+		t.Errorf("lossless run: status=%v undelivered=%v views=%d",
+			res.Status, res.Undelivered, len(res.Views))
+	}
+	for r := range res.Data {
+		if !bytes.Equal(res.Data[r], data) {
+			t.Errorf("rank %d payload differs", r)
+		}
 	}
 }

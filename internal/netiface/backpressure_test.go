@@ -1,0 +1,133 @@
+package netiface_test
+
+// Composition coverage for the NI stall model: send-engine stall windows
+// (this package) must compose with bounded-buffer backpressure and host
+// crashes (internal/reliable) without deadlock. The scenarios park senders
+// on full buffers while the buffer owner's send engine is frozen — the
+// exact shape that would wedge a protocol whose waiter release depended on
+// the stalled engine making progress — and run under a watchdog.
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/message"
+	"repro/internal/netiface"
+	"repro/internal/reliable"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func guarded(t *testing.T, name string, run func() (*reliable.Result, error)) (*reliable.Result, error) {
+	t.Helper()
+	type out struct {
+		res *reliable.Result
+		err error
+	}
+	done := make(chan out, 1)
+	go func() {
+		res, err := run()
+		done <- out{res, err}
+	}()
+	select {
+	case o := <-done:
+		return o.res, o.err
+	case <-time.After(30 * time.Second):
+		t.Fatalf("%s: stall+backpressure run hung (deadlock)", name)
+		return nil, nil
+	}
+}
+
+// TestStallBackpressureNoDeadlock: every interior node of a linear chain
+// gets both a 1-slot forwarding buffer and a long overlapping stall
+// window. Parked upstream senders must all resume once the stalls lift;
+// delivery ends byte-exact.
+func TestStallBackpressureNoDeadlock(t *testing.T) {
+	sys := core.NewIrregularSystem(topology.DefaultIrregular(), 6)
+	cfg := reliable.DefaultConfig()
+	cfg.Params.NIBufferPackets = 1
+	spec := core.Spec{Source: 0, Dests: []int{1, 2, 3, 4, 5, 6, 7}, Packets: 8, Policy: core.LinearTree}
+	plan := sys.Plan(spec)
+	payload := make([]byte, 8*(cfg.Params.PacketBytes-message.HeaderSize))
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	var fp sim.FaultPlan
+	walk := plan.Tree.Children(plan.Tree.Root())
+	for len(walk) > 0 {
+		h := walk[0]
+		if len(plan.Tree.Children(h)) > 0 { // interior forwarder
+			fp.Stalls = append(fp.Stalls, sim.HostStall{
+				Host:  h,
+				Stall: netiface.Stall{From: 14, Until: 70},
+			})
+		}
+		walk = plan.Tree.Children(h)
+	}
+	if len(fp.Stalls) == 0 {
+		t.Fatal("linear chain has no interior forwarders")
+	}
+	res, err := guarded(t, "stall-chain", func() (*reliable.Result, error) {
+		return reliable.Deliver(sys, plan, payload, cfg, fp)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BackpressureWait == 0 {
+		t.Error("stalled 1-slot forwarders produced no backpressure")
+	}
+	if res.PeakBuffered > 1 {
+		t.Errorf("peak residency %d exceeds the 1-slot bound", res.PeakBuffered)
+	}
+	for _, d := range spec.Dests {
+		if got, ok := res.Delivered[d]; !ok || !bytes.Equal(got, payload) {
+			t.Errorf("destination %d payload missing or inexact", d)
+		}
+	}
+}
+
+// TestStallBackpressureCrashNoDeadlock: the stalled, buffer-full forwarder
+// crash-stops while upstream senders are parked on it. The waiters must be
+// released by the crash (not leak), the subtree must be adopted, and the
+// run must terminate with the survivors delivered.
+func TestStallBackpressureCrashNoDeadlock(t *testing.T) {
+	sys := core.NewIrregularSystem(topology.DefaultIrregular(), 6)
+	cfg := reliable.DefaultConfig()
+	cfg.Params.NIBufferPackets = 1
+	cfg.Quorum = 1
+	spec := core.Spec{Source: 0, Dests: []int{1, 2, 3, 4, 5, 6, 7}, Packets: 8, Policy: core.LinearTree}
+	plan := sys.Plan(spec)
+	payload := make([]byte, 8*(cfg.Params.PacketBytes-message.HeaderSize))
+	for i := range payload {
+		payload[i] = byte(i * 13)
+	}
+	victim := plan.Tree.Children(plan.Tree.Root())[0]
+	fp := sim.FaultPlan{
+		Stalls: []sim.HostStall{
+			{Host: victim, Stall: netiface.Stall{From: 14, Until: 200}},
+		},
+		Crashes: []sim.HostCrash{{Host: victim, At: 30}},
+	}
+	res, err := guarded(t, "stall-crash", func() (*reliable.Result, error) {
+		return reliable.Deliver(sys, plan, payload, cfg, fp)
+	})
+	if err != nil {
+		t.Fatalf("quorum 1 must tolerate the crash: %v", err)
+	}
+	if res.Status != reliable.DeliveredPartial {
+		t.Errorf("status %v, want delivered-partial", res.Status)
+	}
+	if res.Adoptions == 0 {
+		t.Error("crashed forwarder's subtree was never adopted")
+	}
+	for _, d := range spec.Dests {
+		if d == victim {
+			continue
+		}
+		if got, ok := res.Delivered[d]; !ok || !bytes.Equal(got, payload) {
+			t.Errorf("survivor %d payload missing or inexact", d)
+		}
+	}
+}

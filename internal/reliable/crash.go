@@ -1,0 +1,344 @@
+package reliable
+
+import (
+	"sort"
+
+	"repro/internal/membership"
+	"repro/internal/message"
+)
+
+// This file is the crash-tolerance plane of the machine: host crash and
+// recovery faults, the heartbeat/failure-detector loop, and the view-change
+// reactions (epoch fencing, orphan adoption, rejoin replay). None of it
+// runs unless the fault plan schedules crashes — mc.det stays nil, the
+// epoch stays 0, and the data plane replays its crash-free behavior
+// event-for-event.
+
+// scheduleBeats drives host v's heartbeat loop: every HeartbeatEvery it
+// emits one control-plane heartbeat toward the root (unless the host is
+// down), which reaches the detector after the contention-free control
+// latency. Heartbeats are not subject to ACK-loss sampling: perturbing the
+// loss stream would make crash runs diverge from their crash-free
+// counterparts beyond the crash itself, and a lossy detector would add
+// false positives the paper's model has no use for.
+func (mc *machine) scheduleBeats(v int) {
+	mc.eng.At(mc.eng.Now()+mc.cfg.Heartbeat.HeartbeatEvery, func() {
+		if mc.finished {
+			return
+		}
+		now := mc.eng.Now()
+		if !mc.faults.HostDown(v, now) {
+			mc.eng.At(now+mc.ctlDelay(v, mc.root), func() {
+				if mc.finished {
+					return
+				}
+				mc.processEvents(mc.det.Heartbeat(v, mc.eng.Now()))
+			})
+		}
+		mc.scheduleBeats(v)
+	})
+}
+
+// tickLoop advances the detector at the root every heartbeat period, so
+// suspicion and confirmation deadlines fire even when every remote host
+// has gone silent. The root observes itself trivially.
+func (mc *machine) tickLoop() {
+	mc.eng.At(mc.eng.Now()+mc.cfg.Heartbeat.HeartbeatEvery, func() {
+		if mc.finished {
+			return
+		}
+		mc.processEvents(mc.det.Heartbeat(mc.root, mc.eng.Now()))
+		mc.tickLoop()
+	})
+}
+
+// processEvents applies a batch of detector transitions and records the
+// new view when the epoch advanced. Epoch bookkeeping always applies —
+// the detector already advanced — but once the run finished the
+// structural reactions (adoption, rejoin replay) are skipped: they would
+// only schedule pointless traffic on a completed operation.
+func (mc *machine) processEvents(evs []membership.Event) {
+	for _, ev := range evs {
+		mc.epoch = ev.Epoch
+		if mc.finished {
+			continue
+		}
+		switch ev.Kind {
+		case membership.Confirmed:
+			mc.onConfirmed(ev)
+		case membership.Rejoined:
+			mc.onRejoined(ev)
+		}
+	}
+	if n := len(mc.res.Views); n > 0 && mc.det.Epoch() > mc.res.Views[n-1].Epoch {
+		mc.res.Views = append(mc.res.Views, mc.det.View())
+	}
+}
+
+// onCrash applies a host-crash fault: the host's entire NI state — send
+// queue, in-flight copies, forwarding buffer, reassembly progress — is
+// dropped. A root crash fails the whole multicast. The detector is NOT
+// told: the group must discover the crash through silence.
+func (mc *machine) onCrash(h int) {
+	mc.faults.Stats.Crashes++
+	if mc.finished {
+		// Reachable only after a root crash failed the whole operation
+		// (checkFinished defers completion past the last scheduled fault).
+		// A completion timestamped after this instant (receive landed,
+		// host-level copy still in progress) never actually finished on
+		// the crashing host: the record and the payload die with it.
+		if n := mc.nodes[h]; n != nil && h != mc.root {
+			if t, ok := mc.res.HostDone[h]; ok && t > mc.eng.Now() {
+				delete(mc.res.HostDone, h)
+				n.reasm = message.NewReassembler()
+				n.have = make([]bool, mc.m)
+				n.haveCount = 0
+			}
+		}
+		return
+	}
+	if h == mc.root {
+		mc.rootCrashed = true
+		mc.finished = true
+		return
+	}
+	n := mc.nodes[h]
+	if n == nil {
+		return
+	}
+	n.inc++ // in-flight copy completions become no-ops
+	n.inFlight = 0
+	n.queue = nil
+	n.reasm = message.NewReassembler()
+	n.have = make([]bool, mc.m)
+	n.haveCount = 0
+	n.buffered = 0
+	n.inbound = 0
+	n.copiesLeft = nil
+	delete(mc.res.HostDone, h)
+	mc.releaseWaiters(n)
+}
+
+// releaseWaiters unparks every send attempt waiting on n's forwarding
+// buffer; the senders re-attempt immediately and either inject (the crash
+// makes the buffer bound moot) or skip the op if its edge died.
+func (mc *machine) releaseWaiters(n *node) {
+	ws := n.waiters
+	n.waiters = nil
+	for _, w := range ws {
+		mc.res.BackpressureWait += mc.eng.Now() - w.since
+		s := mc.nodes[w.o.from]
+		s.queue = append([]op{w.o}, s.queue...)
+		mc.pump(w.o.from)
+	}
+}
+
+// onRecover applies a host-recovery fault. If the group already confirmed
+// the crash, nothing happens here — the host's resumed heartbeats trigger
+// a Rejoined view change, which re-admits it. If the outage was shorter
+// than suspicion+confirmation the group never saw it, but the host's
+// buffers are empty while its parent believes ACKed packets are delivered;
+// a silent fresh re-graft makes the parent replay everything it holds.
+func (mc *machine) onRecover(h int) {
+	mc.faults.Stats.Recoveries++
+	if mc.finished || h == mc.root {
+		return
+	}
+	n := mc.nodes[h]
+	if n == nil || mc.det.Phase(h) == membership.Crashed {
+		return
+	}
+	mc.regraftFresh(h)
+}
+
+// onConfirmed reacts to the detector declaring host d crashed: the epoch
+// advances (fencing all in-flight traffic), every edge incarnation
+// touching d is killed and removed, and d's orphaned subtrees are adopted
+// by its nearest live ancestor via a fresh contention-free construction.
+func (mc *machine) onConfirmed(ev membership.Event) {
+	d := ev.Host
+	if d == mc.root {
+		return // the root is the observer; it cannot be confirmed crashed
+	}
+	n := mc.nodes[d]
+	if n == nil {
+		return
+	}
+	anc := n.parent
+	former := append([]int(nil), n.children...)
+	mc.dropHostState(d)
+	now := mc.eng.Now()
+	var orphans []int
+	for _, c := range former {
+		for _, v := range mc.incompleteSubtree(c) {
+			nv := mc.nodes[v]
+			switch {
+			case mc.faults.HostDown(v, now):
+				// Itself crashed; its own confirmation or recovery resolves it.
+			case nv.regrafts >= maxRegrafts:
+				mc.abandon(v)
+			default:
+				orphans = append(orphans, v)
+			}
+		}
+	}
+	if len(orphans) > 0 {
+		mc.graft(mc.adopterFrom(anc), orphans)
+		mc.res.Adoptions++
+	}
+	mc.checkFinished()
+}
+
+// onRejoined re-admits a recovered host the group had confirmed crashed:
+// the epoch advances and the host is grafted back with the full message
+// replayed from the root — its buffers are empty, and packets its old
+// parent saw ACKed would otherwise be lost forever.
+func (mc *machine) onRejoined(ev membership.Event) {
+	h := ev.Host
+	n := mc.nodes[h]
+	if n == nil || h == mc.root || n.abandoned || n.haveCount == mc.m {
+		return
+	}
+	if n.regrafts >= maxRegrafts {
+		mc.abandon(h)
+		return
+	}
+	mc.graft(mc.root, []int{h})
+	mc.res.Adoptions++
+}
+
+// regraftFresh silently re-parents h on a fresh edge under its nearest
+// live ancestor after an unconfirmed outage, forcing a full replay.
+func (mc *machine) regraftFresh(h int) {
+	n := mc.nodes[h]
+	if n.abandoned || n.haveCount == mc.m {
+		return
+	}
+	if n.regrafts >= maxRegrafts {
+		mc.abandon(h)
+		return
+	}
+	mc.graft(mc.adopterFrom(n.parent), []int{h})
+	mc.res.Adoptions++
+}
+
+// adopterFrom walks up from candidate ancestor a to the nearest node that
+// is alive in both the physical (not down) and group (not confirmed,
+// not abandoned) senses, falling back to the root.
+func (mc *machine) adopterFrom(a int) int {
+	now := mc.eng.Now()
+	for a >= 0 && a != mc.root {
+		n := mc.nodes[a]
+		if n == nil {
+			break
+		}
+		if !n.abandoned && !mc.faults.HostDown(a, now) && mc.det.Phase(a) != membership.Crashed {
+			return a
+		}
+		a = n.parent
+	}
+	return mc.root
+}
+
+// dropHostState removes every trace of host d from the protocol's mutable
+// state: all edge incarnations touching it (live or dead — long-dead
+// incarnations would otherwise leak map entries for the rest of the run),
+// its queue, in-flight copies, buffer occupancy, and parked senders.
+func (mc *machine) dropHostState(d int) {
+	var keys [][2]int
+	for k := range mc.edges {
+		if k[0] == d || k[1] == d {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		if es := mc.edges[k]; !es.dead {
+			mc.killEdge(es)
+		}
+		delete(mc.edges, k)
+	}
+	n := mc.nodes[d]
+	n.inc++
+	n.inFlight = 0
+	n.queue = nil
+	n.buffered = 0
+	n.inbound = 0
+	n.copiesLeft = nil
+	mc.releaseWaiters(n)
+}
+
+// checkFinished marks the run finished once every destination is resolved,
+// which stops the heartbeat and detector loops. Only meaningful (and only
+// called) when the membership plane is armed; crash-free runs terminate by
+// draining the event heap as before.
+//
+// Completion is deferred until the fault plan's last crash or recovery
+// instant has passed: a crash landing after every destination resolved
+// (e.g. in the window between a packet acceptance and the host-level copy
+// completing) must be handled by the live machinery — detector, adoption,
+// re-graft — not dropped on the floor by a run that already declared
+// itself done.
+func (mc *machine) checkFinished() {
+	if mc.det == nil || mc.finished {
+		return
+	}
+	now := mc.eng.Now()
+	if now <= mc.lastFaultAt() {
+		return
+	}
+	for v, n := range mc.nodes {
+		if v != mc.root && !mc.resolved(n, now) {
+			return
+		}
+	}
+	mc.finished = true
+}
+
+// resolved reports whether destination n needs no further protocol work:
+// it completed, was abandoned, or the group confirmed it crashed for
+// good. A confirmed host with a recovery in the fault plan stays
+// unresolved — its resumed heartbeats will rejoin it, however long after
+// the recovery instant the next beat lands — so the run cannot declare
+// itself done in the window between recovery and rejoin. The protocol is
+// otherwise not clairvoyant: a physically-down host is unresolved until
+// the detector confirms it.
+func (mc *machine) resolved(n *node, now float64) bool {
+	if n.abandoned {
+		return true
+	}
+	if n.haveCount == mc.m && !mc.faults.HostDown(n.id, now) {
+		return true
+	}
+	return mc.det.Phase(n.id) == membership.Crashed && !mc.everRecovers(n.id)
+}
+
+// lastFaultAt returns the instant of the fault plan's final scheduled
+// crash or recovery event.
+func (mc *machine) lastFaultAt() float64 {
+	t := 0.0
+	for _, c := range mc.faults.Crashes() {
+		if c.At > t {
+			t = c.At
+		}
+		if c.RecoverAt > t {
+			t = c.RecoverAt
+		}
+	}
+	return t
+}
+
+// everRecovers reports whether host h's crash has a scheduled recovery.
+func (mc *machine) everRecovers(h int) bool {
+	for _, c := range mc.faults.Crashes() {
+		if c.Host == h {
+			return c.RecoverAt > 0
+		}
+	}
+	return false
+}

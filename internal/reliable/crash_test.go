@@ -1,0 +1,323 @@
+package reliable
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netiface"
+	"repro/internal/sim"
+)
+
+// deliverGuarded runs Deliver under a watchdog: a crash scenario must
+// terminate, never hang the event loop.
+func deliverGuarded(t *testing.T, sys *core.System, plan *core.Plan, payload []byte, cfg Config, fp sim.FaultPlan) (*Result, error) {
+	t.Helper()
+	type out struct {
+		res *Result
+		err error
+	}
+	done := make(chan out, 1)
+	go func() {
+		res, err := Deliver(sys, plan, payload, cfg, fp)
+		done <- out{res, err}
+	}()
+	select {
+	case o := <-done:
+		return o.res, o.err
+	case <-time.After(30 * time.Second):
+		t.Fatal("delivery hung under crash faults")
+		return nil, nil
+	}
+}
+
+// TestCrashStopFirstChild is the acceptance scenario: the root's first
+// child crash-stops mid-broadcast. The run must terminate with either full
+// delivery to the survivors via adoption or DeliveredPartial — never a
+// hang or silent loss — and every survivor's payload must be byte-exact.
+func TestCrashStopFirstChild(t *testing.T) {
+	sys := irregular64(3)
+	cfg := DefaultConfig()
+	cfg.Quorum = 1
+	spec := core.Spec{Source: 0, Dests: seqDests(1, 63), Packets: 8, Policy: core.OptimalTree}
+	plan := sys.Plan(spec)
+	victim := plan.Tree.Children(plan.Tree.Root())[0]
+	if len(plan.Tree.Children(victim)) == 0 {
+		t.Fatalf("host %d has no subtree; scenario needs orphans to adopt", victim)
+	}
+	payload := payloadFor(8, cfg.Params, 42)
+	fp := sim.FaultPlan{Crashes: []sim.HostCrash{{Host: victim, At: 20}}}
+	res, err := deliverGuarded(t, sys, plan, payload, cfg, fp)
+	if err != nil {
+		t.Fatalf("quorum 1 must tolerate one crash: %v", err)
+	}
+	if res.Status != DeliveredPartial {
+		t.Errorf("status %v, want delivered-partial (crash-stop host cannot complete)", res.Status)
+	}
+	if !reflect.DeepEqual(res.Orphaned, []int{victim}) {
+		t.Errorf("orphaned %v, want exactly the crashed host %d", res.Orphaned, victim)
+	}
+	if !reflect.DeepEqual(res.Crashed, []int{victim}) {
+		t.Errorf("crashed %v, want [%d]", res.Crashed, victim)
+	}
+	if res.Adoptions == 0 {
+		t.Error("no adoption despite the crashed host having a subtree")
+	}
+	if res.Epoch != 2 || len(res.Views) != 2 {
+		t.Errorf("epoch %d with %d views, want epoch 2 after one confirmation", res.Epoch, len(res.Views))
+	}
+	for _, v := range res.Views[1].Members {
+		if v == victim {
+			t.Errorf("crashed host %d still in view %d", victim, res.Views[1].Epoch)
+		}
+	}
+	var survivors []int
+	for _, d := range spec.Dests {
+		if d != victim {
+			survivors = append(survivors, d)
+		}
+	}
+	checkPayloads(t, res, survivors, payload)
+	if _, ok := res.HostDone[victim]; ok {
+		t.Error("crashed host has a completion time")
+	}
+}
+
+// TestCrashRecoveryRejoin: a host down long enough to be confirmed crashed
+// recovers, rejoins in a fresh epoch, and has the full message replayed —
+// the run ends fully Delivered.
+func TestCrashRecoveryRejoin(t *testing.T) {
+	sys := irregular64(3)
+	cfg := DefaultConfig()
+	spec := core.Spec{Source: 0, Dests: seqDests(1, 31), Packets: 6, Policy: core.OptimalTree}
+	plan := sys.Plan(spec)
+	victim := plan.Tree.Children(plan.Tree.Root())[0]
+	payload := payloadFor(6, cfg.Params, 7)
+	// Confirmation lands around 48-60 us (16+12 us timeouts, <= 25% jitter);
+	// recovering at 90 exercises the full rejoin path.
+	fp := sim.FaultPlan{Crashes: []sim.HostCrash{{Host: victim, At: 20, RecoverAt: 90}}}
+	res, err := deliverGuarded(t, sys, plan, payload, cfg, fp)
+	if err != nil {
+		t.Fatalf("recovered host should not fail the run: %v", err)
+	}
+	if res.Status != Delivered {
+		t.Errorf("status %v, want delivered after rejoin replay", res.Status)
+	}
+	if res.Faults.Crashes != 1 || res.Faults.Recoveries != 1 {
+		t.Errorf("fault counters crashes=%d recoveries=%d, want 1/1",
+			res.Faults.Crashes, res.Faults.Recoveries)
+	}
+	if res.Epoch != 3 {
+		t.Errorf("epoch %d, want 3 (initial, confirmation, rejoin)", res.Epoch)
+	}
+	if len(res.Crashed) != 0 {
+		t.Errorf("hosts still down at end: %v", res.Crashed)
+	}
+	checkPayloads(t, res, spec.Dests, payload)
+}
+
+// TestCrashShortOutage: an outage shorter than suspicion+confirmation is
+// invisible to the group — no view change — but the host's wiped buffers
+// are replenished by a silent fresh re-graft, so delivery is still exact.
+func TestCrashShortOutage(t *testing.T) {
+	sys := irregular64(3)
+	cfg := DefaultConfig()
+	spec := core.Spec{Source: 0, Dests: seqDests(1, 31), Packets: 6, Policy: core.OptimalTree}
+	plan := sys.Plan(spec)
+	victim := plan.Tree.Children(plan.Tree.Root())[0]
+	payload := payloadFor(6, cfg.Params, 7)
+	fp := sim.FaultPlan{Crashes: []sim.HostCrash{{Host: victim, At: 20, RecoverAt: 26}}}
+	res, err := deliverGuarded(t, sys, plan, payload, cfg, fp)
+	if err != nil {
+		t.Fatalf("short outage should not fail the run: %v", err)
+	}
+	if res.Status != Delivered {
+		t.Errorf("status %v, want delivered", res.Status)
+	}
+	if res.Epoch != 1 || len(res.Views) != 1 {
+		t.Errorf("epoch %d views %d — a 6 us outage must not change the view",
+			res.Epoch, len(res.Views))
+	}
+	if res.Adoptions == 0 {
+		t.Error("no re-graft after the unconfirmed outage; wiped buffers would stay empty")
+	}
+	checkPayloads(t, res, spec.Dests, payload)
+}
+
+// TestRootCrashFails: the source going down fails the operation with a
+// typed *CrashError regardless of quorum.
+func TestRootCrashFails(t *testing.T) {
+	sys := irregular64(3)
+	cfg := DefaultConfig()
+	cfg.Quorum = 1
+	spec := core.Spec{Source: 0, Dests: seqDests(1, 31), Packets: 6, Policy: core.OptimalTree}
+	plan := sys.Plan(spec)
+	payload := payloadFor(6, cfg.Params, 7)
+	fp := sim.FaultPlan{Crashes: []sim.HostCrash{{Host: 0, At: 20}}}
+	res, err := deliverGuarded(t, sys, plan, payload, cfg, fp)
+	var ce *CrashError
+	if !errors.As(err, &ce) || !ce.RootCrashed {
+		t.Fatalf("error %v, want *CrashError with RootCrashed", err)
+	}
+	if res.Status != Failed {
+		t.Errorf("status %v, want failed", res.Status)
+	}
+}
+
+// TestQuorumSemantics: the same two crash-stops pass with a loose quorum
+// and fail with a strict one, with consistent typed errors.
+func TestQuorumSemantics(t *testing.T) {
+	sys := irregular64(3)
+	spec := core.Spec{Source: 0, Dests: seqDests(1, 7), Packets: 4, Policy: core.OptimalTree}
+	plan := sys.Plan(spec)
+	cfg := DefaultConfig()
+	payload := payloadFor(4, cfg.Params, 5)
+	fp := sim.FaultPlan{Crashes: []sim.HostCrash{
+		{Host: spec.Dests[0], At: 15},
+		{Host: spec.Dests[1], At: 15},
+	}}
+
+	cfg.Quorum = 5
+	res, err := deliverGuarded(t, sys, plan, payload, cfg, fp)
+	if err != nil {
+		t.Fatalf("quorum 5 of 7 with 2 crashes should hold: %v", err)
+	}
+	if res.Status != DeliveredPartial || len(res.Orphaned) != 2 {
+		t.Errorf("status %v orphaned %v, want delivered-partial with both crash-stops undelivered",
+			res.Status, res.Orphaned)
+	}
+
+	cfg.Quorum = 0 // require all destinations
+	res, err = deliverGuarded(t, sys, plan, payload, cfg, fp)
+	var ce *CrashError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error %v, want *CrashError when quorum requires all", err)
+	}
+	if ce.Delivered != 5 || ce.Quorum != 7 || len(ce.Undelivered) != 2 {
+		t.Errorf("crash error %+v, want 5 delivered of quorum 7 with 2 undelivered", ce)
+	}
+	if res.Status != Failed {
+		t.Errorf("status %v, want failed", res.Status)
+	}
+}
+
+// TestCrashDeterminism: crash runs (with background loss) replay exactly,
+// field for field, including the new epoch/view/adoption state.
+func TestCrashDeterminism(t *testing.T) {
+	sys := irregular64(8)
+	cfg := DefaultConfig()
+	cfg.Quorum = 1
+	spec := core.Spec{Source: 0, Dests: seqDests(1, 63), Packets: 8, Policy: core.OptimalTree}
+	plan := sys.Plan(spec)
+	payload := payloadFor(8, cfg.Params, 23)
+	fp := sim.FaultPlan{
+		Seed:     77,
+		DropRate: 0.05,
+		Crashes: []sim.HostCrash{
+			{Host: plan.Tree.Children(plan.Tree.Root())[0], At: 18},
+			{Host: spec.Dests[len(spec.Dests)-1], At: 30, RecoverAt: 95},
+		},
+	}
+	a, errA := deliverGuarded(t, sys, plan, payload, cfg, fp)
+	b, errB := deliverGuarded(t, sys, plan, payload, cfg, fp)
+	if (errA == nil) != (errB == nil) {
+		t.Fatalf("error mismatch: %v vs %v", errA, errB)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("two crash runs with identical inputs diverged")
+	}
+}
+
+// TestEpochStampsMonotone: the accepted-packet epoch trace never goes
+// backwards — stale-epoch traffic is fenced, not delivered.
+func TestEpochStampsMonotone(t *testing.T) {
+	sys := irregular64(8)
+	cfg := DefaultConfig()
+	cfg.Quorum = 1
+	spec := core.Spec{Source: 0, Dests: seqDests(1, 63), Packets: 8, Policy: core.OptimalTree}
+	plan := sys.Plan(spec)
+	payload := payloadFor(8, cfg.Params, 23)
+	fp := sim.FaultPlan{
+		Seed:     9,
+		DropRate: 0.03,
+		Crashes:  []sim.HostCrash{{Host: plan.Tree.Children(plan.Tree.Root())[0], At: 18, RecoverAt: 100}},
+	}
+	res, _ := deliverGuarded(t, sys, plan, payload, cfg, fp)
+	if len(res.Accepts) == 0 {
+		t.Fatal("crash run recorded no epoch stamps")
+	}
+	prev := 0
+	for i, s := range res.Accepts {
+		if s.Epoch < prev {
+			t.Fatalf("accept %d at t=%f regressed to epoch %d after %d", i, s.At, s.Epoch, prev)
+		}
+		prev = s.Epoch
+	}
+	if prev > res.Epoch {
+		t.Errorf("last accepted epoch %d exceeds final epoch %d", prev, res.Epoch)
+	}
+}
+
+// TestNoCrashNoMembership: without crash faults the membership plane never
+// arms — epoch 0, no views, no epoch stamps — so the data plane replays
+// its crash-free schedule untouched.
+func TestNoCrashNoMembership(t *testing.T) {
+	sys := irregular64(5)
+	cfg := DefaultConfig()
+	spec := core.Spec{Source: 0, Dests: seqDests(1, 31), Packets: 4, Policy: core.OptimalTree}
+	plan := sys.Plan(spec)
+	payload := payloadFor(4, cfg.Params, 13)
+	res, err := Deliver(sys, plan, payload, cfg, sim.FaultPlan{Seed: 2, DropRate: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epoch != 0 || res.Views != nil || res.Accepts != nil || res.Status != Delivered {
+		t.Errorf("membership artifacts on a crash-free run: epoch=%d views=%d accepts=%d status=%v",
+			res.Epoch, len(res.Views), len(res.Accepts), res.Status)
+	}
+}
+
+// TestBoundedBuffersBackpressure: a stall window freezes the first hop's
+// send engine so its 1-slot forwarding buffer fills; the upstream sender
+// must park (backpressure) instead of overrunning the bound, and delivery
+// stays byte-exact once the stall lifts.
+func TestBoundedBuffersBackpressure(t *testing.T) {
+	sys := irregular64(6)
+	cfg := DefaultConfig()
+	cfg.Params.NIBufferPackets = 1
+	spec := core.Spec{Source: 0, Dests: seqDests(1, 15), Packets: 8, Policy: core.LinearTree}
+	plan := sys.Plan(spec)
+	hop := plan.Tree.Children(plan.Tree.Root())[0]
+	payload := payloadFor(8, cfg.Params, 31)
+	fp := sim.FaultPlan{Stalls: []sim.HostStall{
+		{Host: hop, Stall: netiface.Stall{From: 14, Until: 60}},
+	}}
+	res, err := deliverGuarded(t, sys, plan, payload, cfg, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeakBuffered > 1 {
+		t.Errorf("peak buffer residency %d exceeds the 1-slot bound", res.PeakBuffered)
+	}
+	if res.BackpressureWait == 0 {
+		t.Error("a stalled 1-slot forwarder produced no backpressure")
+	}
+	checkPayloads(t, res, spec.Dests, payload)
+
+	// The same workload with unbounded buffers must be no slower: the bound
+	// can only delay injections, never accelerate them.
+	cfg.Params.NIBufferPackets = 0
+	free, err := Deliver(sys, plan, payload, cfg, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free.Latency > res.Latency {
+		t.Errorf("unbounded run slower (%f) than backpressured run (%f)", free.Latency, res.Latency)
+	}
+	if free.PeakBuffered != 0 || free.BackpressureWait != 0 {
+		t.Errorf("unbounded run tracked buffer state: peak=%d wait=%f",
+			free.PeakBuffered, free.BackpressureWait)
+	}
+}

@@ -2,8 +2,10 @@ package reliable
 
 import (
 	"math"
+	"sort"
 
 	"repro/internal/core"
+	"repro/internal/membership"
 	"repro/internal/message"
 	"repro/internal/routing"
 	"repro/internal/sim"
@@ -11,9 +13,20 @@ import (
 
 // op is one pending data-packet injection across a tree edge. The gen
 // pins it to the edge incarnation that queued it: after a repair replaces
-// the edge, stale ops are skipped at the NI instead of injecting.
+// the edge, stale ops are skipped at the NI instead of injecting. fwd
+// marks the initial forward copies a packet owes on arrival — the copies
+// whose completion releases the receiving NI's forwarding-buffer slot
+// under a bounded-buffer configuration.
 type op struct {
 	from, to, seq, gen int
+	fwd                bool
+}
+
+// waiter is one send attempt parked because the receiving NI's forwarding
+// buffer was full; it resumes (FIFO) when a slot frees.
+type waiter struct {
+	o     op
+	since float64
 }
 
 // pktState tracks one (edge, packet) in flight. timerGen invalidates
@@ -48,6 +61,21 @@ type node struct {
 	haveCount int
 	abandoned bool
 	regrafts  int
+	// inc is the NI incarnation; a crash bumps it so completion callbacks
+	// of copies that were mid-wire become no-ops instead of touching the
+	// wiped send engine.
+	inc int
+	// Bounded-buffer bookkeeping (Params.NIBufferPackets > 0): buffered is
+	// the packets resident in the forwarding buffer, inbound the data
+	// packets in flight toward it with a reserved slot (reservation happens
+	// at injection admission, so the bound is never overrun by packets
+	// already on the wire), copiesLeft[seq] the forward copies packet seq
+	// still owes before its slot frees, and waiters the send attempts
+	// parked here because buffer plus reservations were full.
+	buffered   int
+	inbound    int
+	copiesLeft []int
+	waiters    []waiter
 }
 
 // maxRegrafts bounds how often one node may be re-parented before the
@@ -82,6 +110,15 @@ type machine struct {
 	edges  map[[2]int]*edgeState
 	genCtr int
 
+	// Crash-tolerance state. det is nil (and epoch stays 0, so fencing
+	// never triggers) unless the fault plan schedules host crashes.
+	det         *membership.Detector
+	epoch       int
+	finished    bool
+	rootCrashed bool
+	// slots is the per-NI forwarding-buffer bound; 0 = unbounded.
+	slots int
+
 	res *Result
 }
 
@@ -105,6 +142,7 @@ func newMachine(sys *core.System, plan *core.Plan, pkts [][]byte, cfg Config, fa
 		routes:    map[[2]int]routing.Route{},
 		nodes:     map[int]*node{},
 		edges:     map[[2]int]*edgeState{},
+		slots:     cfg.Params.BufferSlots(),
 		res: &Result{
 			HostDone:  map[int]float64{},
 			Packets:   len(pkts),
@@ -131,6 +169,17 @@ func newMachine(sys *core.System, plan *core.Plan, pkts [][]byte, cfg Config, fa
 	for _, e := range plan.Tree.Edges() {
 		mc.newEdge(e.Parent, e.Child)
 	}
+	if len(faults.Crashes()) > 0 {
+		det, err := membership.New(cfg.Heartbeat, plan.Tree.Nodes(), 0)
+		if err != nil {
+			// Deliver validated the config and the plan's members are the
+			// distinct tree nodes; this cannot fail on that path.
+			panic(err)
+		}
+		mc.det = det
+		mc.epoch = det.Epoch()
+		mc.res.Views = append(mc.res.Views, det.View())
+	}
 	return mc
 }
 
@@ -143,7 +192,9 @@ func (mc *machine) newEdge(u, v int) *edgeState {
 
 // run seeds the root — after the t_s software start-up its NI holds every
 // packet, enqueued packet-major across children exactly like the lossless
-// engine under FPFS — then drains the event loop.
+// engine under FPFS — then drains the event loop. With crashes planned it
+// also starts the membership plane (heartbeats + detector ticks) and
+// schedules the crash/recovery faults themselves.
 func (mc *machine) run() {
 	mc.eng.At(mc.p.THostSend, func() {
 		n := mc.nodes[mc.root]
@@ -153,26 +204,98 @@ func (mc *machine) run() {
 		n.haveCount = mc.m
 		for j := 0; j < mc.m; j++ {
 			for _, c := range n.children {
-				n.queue = append(n.queue, op{mc.root, c, j, mc.edges[[2]int{mc.root, c}].gen})
+				n.queue = append(n.queue, op{from: mc.root, to: c, seq: j, gen: mc.edges[[2]int{mc.root, c}].gen})
 			}
 		}
 		mc.pump(mc.root)
 	})
+	if mc.det != nil {
+		for _, c := range mc.faults.Crashes() {
+			c := c
+			mc.eng.At(c.At, func() { mc.onCrash(c.Host) })
+			if c.RecoverAt > 0 {
+				mc.eng.At(c.RecoverAt, func() { mc.onRecover(c.Host) })
+			}
+		}
+		var ids []int
+		for v := range mc.nodes {
+			if v != mc.root {
+				ids = append(ids, v)
+			}
+		}
+		sort.Ints(ids) // deterministic event-seq assignment
+		for _, v := range ids {
+			mc.scheduleBeats(v)
+		}
+		mc.tickLoop()
+	}
 	mc.eng.Run()
 }
 
 // pump starts queued injections while the NI has a free engine, skipping
-// ops whose edge incarnation died or whose packet was ACKed meanwhile.
+// ops whose edge incarnation died or whose packet was ACKed meanwhile. A
+// crashed sender keeps its queue dormant; a full receiver parks the
+// attempt there until a buffer slot frees.
 func (mc *machine) pump(v int) {
 	n := mc.nodes[v]
+	if mc.faults.HostDown(v, mc.eng.Now()) {
+		return
+	}
 	for n.inFlight < mc.p.Ports() && len(n.queue) > 0 {
 		o := n.queue[0]
 		n.queue = n.queue[1:]
 		es := mc.edges[[2]int{o.from, o.to}]
 		if es == nil || es.dead || es.gen != o.gen || es.seqs[o.seq].acked {
+			mc.noteCopyDone(n, o)
+			continue
+		}
+		if to := mc.bounded(o.to); to != nil && to.buffered+to.inbound >= mc.slots {
+			to.waiters = append(to.waiters, waiter{o: o, since: mc.eng.Now()})
 			continue
 		}
 		mc.inject(n, es, o)
+	}
+}
+
+// bounded returns o's target node when the buffer bound applies to it: a
+// live forwarder (leaves consume packets instantly and never buffer).
+func (mc *machine) bounded(to int) *node {
+	if mc.slots == 0 {
+		return nil
+	}
+	n := mc.nodes[to]
+	if n == nil || len(n.children) == 0 || mc.faults.HostDown(to, mc.eng.Now()) {
+		return nil
+	}
+	return n
+}
+
+// noteCopyDone retires one forward obligation of a buffered packet: when
+// the last owed copy leaves the queue (injected or skipped), the packet's
+// forwarding-buffer slot frees and parked senders resume.
+func (mc *machine) noteCopyDone(n *node, o op) {
+	if mc.slots == 0 || !o.fwd || n.copiesLeft == nil {
+		return
+	}
+	n.copiesLeft[o.seq]--
+	if n.copiesLeft[o.seq] > 0 {
+		return
+	}
+	n.buffered--
+	mc.unpark(n)
+}
+
+// unpark resumes parked send attempts (FIFO) while n has admission
+// capacity; each resumes at the front of its sender's queue and re-runs
+// the normal pump admission.
+func (mc *machine) unpark(n *node) {
+	for len(n.waiters) > 0 && n.buffered+n.inbound < mc.slots {
+		w := n.waiters[0]
+		n.waiters = n.waiters[1:]
+		mc.res.BackpressureWait += mc.eng.Now() - w.since
+		s := mc.nodes[w.o.from]
+		s.queue = append([]op{w.o}, s.queue...)
+		mc.pump(w.o.from)
 	}
 }
 
@@ -183,6 +306,7 @@ func (mc *machine) pump(v int) {
 // the NI knows its reservation, so absent loss the ACK beats it by
 // exactly RTOSlack.
 func (mc *machine) inject(n *node, es *edgeState, o op) {
+	mc.noteCopyDone(n, o) // the copy is handed to the DMA; its buffer slot frees
 	n.inFlight++
 	route := mc.routeFor(o.from, o.to)
 	now := mc.eng.Now()
@@ -195,19 +319,55 @@ func (mc *machine) inject(n *node, es *edgeState, o op) {
 		mc.res.Retransmits++
 	}
 	ps.attempt++
+	inc := n.inc
 	mc.eng.At(start+mc.wire, func() {
+		if n.inc != inc { // a crash wiped this send engine mid-copy
+			return
+		}
 		n.inFlight--
 		mc.pump(n.id)
 	})
-	if !mc.faults.RouteDead(route, start) && !mc.faults.SampleDrop() {
-		raw := mc.pkts[o.seq]
-		if mc.faults.SampleCorrupt() {
-			raw = append([]byte(nil), raw...)
-			raw[mc.faults.CorruptByte(len(raw))] ^= 0x55
-		}
-		mc.eng.At(arrive+mc.p.TNIRecv, func() { mc.receive(o, raw) })
+	ep := mc.epoch
+	arriveT := arrive + mc.p.TNIRecv
+	to := mc.bounded(o.to)
+	toInc := 0
+	if to != nil {
+		// The admission reservation converts to buffer residency (or dies
+		// with a dropped packet) when the copy reaches the far NI.
+		to.inbound++
+		toInc = to.inc
 	}
-	deadline := arrive + mc.p.TNIRecv + mc.ctlDelay(o.to, o.from) +
+	delivered := false
+	var raw []byte
+	if !mc.faults.RouteDead(route, start) && !mc.faults.SampleDrop() {
+		if mc.faults.HostDown(o.to, arriveT) {
+			mc.faults.NoteCrashDrop()
+		} else {
+			delivered = true
+			raw = mc.pkts[o.seq]
+			if mc.faults.SampleCorrupt() {
+				raw = append([]byte(nil), raw...)
+				raw[mc.faults.CorruptByte(len(raw))] ^= 0x55
+			}
+		}
+	}
+	if to != nil || delivered {
+		mc.eng.At(arriveT, func() {
+			// Release the reservation and absorb the packet in one event, so
+			// admission never sees the slot momentarily unaccounted.
+			release := to != nil && to.inc == toInc
+			if release {
+				to.inbound--
+			}
+			if delivered {
+				mc.receive(o, raw, ep)
+			}
+			if release {
+				mc.unpark(to)
+			}
+		})
+	}
+	deadline := arriveT + mc.ctlDelay(o.to, o.from) +
 		mc.cfg.RTOSlack + mc.backoff(ps.attempt-1)
 	timerGen := ps.timerGen
 	mc.eng.At(deadline, func() { mc.timeout(es, o, timerGen) })
@@ -249,14 +409,22 @@ func packetValid(raw []byte, seq int) bool {
 // receive is the destination NI absorbing one data packet: NACK on
 // corruption, ACK + suppress on duplicate, otherwise reassemble, ACK,
 // forward to the node's current children, and complete the host when the
-// last packet lands.
-func (mc *machine) receive(o op, raw []byte) {
+// last packet lands. ep is the epoch the packet was injected under;
+// traffic from a superseded view is fenced off.
+func (mc *machine) receive(o op, raw []byte, ep int) {
+	now := mc.eng.Now()
+	if mc.faults.HostDown(o.to, now) {
+		mc.faults.NoteCrashDrop()
+		return
+	}
+	if ep != mc.epoch {
+		mc.res.Fenced++
+		return
+	}
 	n := mc.nodes[o.to]
 	if !packetValid(raw, o.seq) {
 		mc.res.Nacks++
-		if !mc.faults.SampleAckDrop() {
-			mc.eng.At(mc.eng.Now()+mc.ctlDelay(o.to, o.from), func() { mc.nackArrive(o) })
-		}
+		mc.sendNack(o)
 		return
 	}
 	if n.have[o.seq] {
@@ -267,24 +435,38 @@ func (mc *machine) receive(o op, raw []byte) {
 	if _, err := n.reasm.Add(raw); err != nil {
 		// Unreachable for a valid, novel packet; treat like corruption.
 		mc.res.Nacks++
-		if !mc.faults.SampleAckDrop() {
-			mc.eng.At(mc.eng.Now()+mc.ctlDelay(o.to, o.from), func() { mc.nackArrive(o) })
-		}
+		mc.sendNack(o)
 		return
 	}
 	n.have[o.seq] = true
 	n.haveCount++
+	if mc.det != nil {
+		mc.res.Accepts = append(mc.res.Accepts, EpochStamp{At: now, Epoch: ep})
+	}
 	mc.sendAck(o)
 	if len(n.children) > 0 {
+		owed := 0
 		for _, c := range n.children {
 			if es := mc.edges[[2]int{n.id, c}]; es != nil && !es.dead {
-				n.queue = append(n.queue, op{n.id, c, o.seq, es.gen})
+				n.queue = append(n.queue, op{from: n.id, to: c, seq: o.seq, gen: es.gen, fwd: true})
+				owed++
+			}
+		}
+		if mc.slots > 0 && owed > 0 {
+			if n.copiesLeft == nil {
+				n.copiesLeft = make([]int, mc.m)
+			}
+			n.copiesLeft[o.seq] = owed
+			n.buffered++
+			if n.buffered > mc.res.PeakBuffered {
+				mc.res.PeakBuffered = n.buffered
 			}
 		}
 		mc.pump(n.id)
 	}
 	if n.haveCount == mc.m {
-		mc.res.HostDone[n.id] = mc.eng.Now() + mc.p.THostRecv
+		mc.res.HostDone[n.id] = now + mc.p.THostRecv
+		mc.checkFinished()
 	}
 }
 
@@ -292,10 +474,26 @@ func (mc *machine) sendAck(o op) {
 	if mc.faults.SampleAckDrop() {
 		return
 	}
-	mc.eng.At(mc.eng.Now()+mc.ctlDelay(o.to, o.from), func() { mc.ackArrive(o) })
+	ep := mc.epoch
+	mc.eng.At(mc.eng.Now()+mc.ctlDelay(o.to, o.from), func() { mc.ackArrive(o, ep) })
 }
 
-func (mc *machine) ackArrive(o op) {
+func (mc *machine) sendNack(o op) {
+	if mc.faults.SampleAckDrop() {
+		return
+	}
+	ep := mc.epoch
+	mc.eng.At(mc.eng.Now()+mc.ctlDelay(o.to, o.from), func() { mc.nackArrive(o, ep) })
+}
+
+func (mc *machine) ackArrive(o op, ep int) {
+	if mc.faults.HostDown(o.from, mc.eng.Now()) {
+		return
+	}
+	if ep != mc.epoch {
+		mc.res.Fenced++
+		return
+	}
 	es := mc.edges[[2]int{o.from, o.to}]
 	if es == nil || es.dead || es.gen != o.gen {
 		return
@@ -310,7 +508,14 @@ func (mc *machine) ackArrive(o op) {
 
 // nackArrive retransmits immediately — the receiver proved the packet was
 // damaged — after cancelling the pending timeout.
-func (mc *machine) nackArrive(o op) {
+func (mc *machine) nackArrive(o op, ep int) {
+	if mc.faults.HostDown(o.from, mc.eng.Now()) {
+		return
+	}
+	if ep != mc.epoch {
+		mc.res.Fenced++
+		return
+	}
 	es := mc.edges[[2]int{o.from, o.to}]
 	if es == nil || es.dead || es.gen != o.gen {
 		return
@@ -324,12 +529,15 @@ func (mc *machine) nackArrive(o op) {
 		return
 	}
 	ps.timerGen++
-	mc.nodes[o.from].queue = append(mc.nodes[o.from].queue, op{o.from, o.to, o.seq, es.gen})
+	mc.nodes[o.from].queue = append(mc.nodes[o.from].queue, op{from: o.from, to: o.to, seq: o.seq, gen: es.gen})
 	mc.pump(o.from)
 }
 
 // timeout fires when no ACK arrived in time: retransmit with backoff, or
-// orphan the edge once the budget is spent.
+// orphan the edge once the budget is spent. While either endpoint is down
+// the packet is parked instead — burning the budget against a crashed
+// peer would preempt the membership plane, whose confirmation (adoption)
+// or recovery (re-graft) is the real resolution.
 func (mc *machine) timeout(es *edgeState, o op, timerGen int) {
 	if es.dead {
 		return
@@ -338,12 +546,22 @@ func (mc *machine) timeout(es *edgeState, o op, timerGen int) {
 	if ps.acked || ps.timerGen != timerGen {
 		return
 	}
+	now := mc.eng.Now()
+	if mc.faults.HostDown(o.to, now) || mc.faults.HostDown(o.from, now) {
+		if ps.attempt > 1 {
+			ps.attempt = 1 // post-recovery retries start with a fresh budget
+		}
+		ps.timerGen++
+		mc.nodes[o.from].queue = append(mc.nodes[o.from].queue, op{from: o.from, to: o.to, seq: o.seq, gen: es.gen})
+		mc.pump(o.from)
+		return
+	}
 	if ps.attempt > mc.cfg.RetryBudget {
 		mc.orphan(es)
 		return
 	}
 	ps.timerGen++
-	mc.nodes[o.from].queue = append(mc.nodes[o.from].queue, op{o.from, o.to, o.seq, es.gen})
+	mc.nodes[o.from].queue = append(mc.nodes[o.from].queue, op{from: o.from, to: o.to, seq: o.seq, gen: es.gen})
 	mc.pump(o.from)
 }
 

@@ -24,6 +24,29 @@
 // reused verbatim), and replays the packets it already holds; receivers
 // drop the duplicates. Destinations that a kill genuinely partitions away
 // are reported in a typed *DeliveryError instead.
+//
+// # Crash tolerance
+//
+// When the fault plan schedules host crashes, a membership plane comes up
+// alongside the data plane: every participant heartbeats the root on the
+// control plane, and a deterministic failure detector
+// (internal/membership) turns silence into suspicion, confirmation, and
+// epoch-numbered group views. Data packets and ACKs carry the epoch they
+// were sent in; a view change fences everything from older epochs —
+// receivers and senders discard stale traffic, and the retransmission
+// timers re-issue it under the new epoch. When a crash is confirmed the
+// dead host is cut out of the tree, its state (edges, queues, timers,
+// buffer reservations) is dropped, and its orphaned subtree is adopted by
+// the nearest live ancestor through the same Fig.-11 contention-free
+// k-binomial construction used at planning time. A crashed host that
+// recovers rejoins with empty buffers in a fresh epoch and has the whole
+// message replayed to it.
+//
+// Crash runs finish with an explicit verdict: Delivered (everyone got the
+// message, possibly via adoption), DeliveredPartial (crashes cut some
+// destinations but at least Quorum completed), or a typed *CrashError.
+// With no crash faults in the plan none of this machinery is armed and
+// the protocol replays its pre-crash behavior event-for-event.
 package reliable
 
 import (
@@ -31,6 +54,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/membership"
 	"repro/internal/message"
 	"repro/internal/sim"
 )
@@ -57,6 +81,17 @@ type Config struct {
 	AckBytes int
 	// MsgID identifies the message in its packet headers.
 	MsgID uint32
+	// Quorum is the minimum number of destinations that must receive the
+	// full payload for a crash-shortened delivery to count as
+	// DeliveredPartial. Zero (or any value >= the destination count)
+	// requires every destination, so any shortfall is a *CrashError. Only
+	// consulted when the fault plan schedules host crashes.
+	Quorum int
+	// Heartbeat parameterizes the membership failure detector. It is armed
+	// (and validated) only when the fault plan schedules host crashes; a
+	// crash-free plan never starts the membership plane, so its runs replay
+	// the pre-crash protocol event-for-event.
+	Heartbeat membership.Config
 }
 
 // DefaultConfig returns the protocol defaults used by the chaos
@@ -72,6 +107,7 @@ func DefaultConfig() Config {
 		JitterFrac:  0.25,
 		AckBytes:    8,
 		MsgID:       1,
+		Heartbeat:   membership.DefaultConfig(),
 	}
 }
 
@@ -91,8 +127,46 @@ func (c Config) Validate() error {
 		return fmt.Errorf("reliable: negative jitter %f", c.JitterFrac)
 	case c.AckBytes < 1:
 		return fmt.Errorf("reliable: ack size %d", c.AckBytes)
+	case c.Quorum < 0:
+		return fmt.Errorf("reliable: negative quorum %d", c.Quorum)
 	}
 	return nil
+}
+
+// Status is the overall verdict of one reliable multicast.
+type Status int
+
+const (
+	// Delivered: every destination received the full payload (possibly via
+	// adoption or post-recovery replay).
+	Delivered Status = iota
+	// DeliveredPartial: crashes left some destinations without the payload,
+	// but at least Config.Quorum destinations completed.
+	DeliveredPartial
+	// Failed: the quorum was missed, the root crashed, or (on a crash-free
+	// plan) any destination was left undelivered.
+	Failed
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Delivered:
+		return "delivered"
+	case DeliveredPartial:
+		return "delivered-partial"
+	case Failed:
+		return "failed"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// EpochStamp records the epoch a packet was accepted under, for auditing
+// epoch monotonicity of the data plane.
+type EpochStamp struct {
+	At    float64
+	Epoch int
 }
 
 // Result reports one reliable multicast delivery.
@@ -124,6 +198,32 @@ type Result struct {
 	Faults sim.FaultStats
 	// Delivered holds each completing destination's reassembled message.
 	Delivered map[int][]byte
+	// Status is the delivery verdict (always Delivered/Failed on crash-free
+	// plans; DeliveredPartial only when crashes cut destinations but the
+	// quorum held).
+	Status Status
+	// Epoch is the final membership epoch (0 when no crashes were planned
+	// and the membership plane never armed; the initial armed view is 1).
+	Epoch int
+	// Views lists the epoch-numbered group views installed during the run,
+	// starting with the initial view, when the membership plane was armed.
+	Views []membership.View
+	// Crashed lists the hosts down when the run ended, ascending.
+	Crashed []int
+	// Fenced counts data/control packets discarded for carrying a stale
+	// epoch after a view change.
+	Fenced int
+	// Adoptions counts crash-driven re-grafts: orphaned subtrees adopted by
+	// a live ancestor after a confirmation, and recovered hosts re-admitted.
+	Adoptions int
+	// Accepts is the epoch-stamp trace of novel packet acceptances, in
+	// event order, recorded only while the membership plane is armed.
+	Accepts []EpochStamp
+	// BackpressureWait aggregates the time send attempts spent parked at a
+	// full receiving NI (Params.NIBufferPackets > 0). PeakBuffered is the
+	// maximum forwarding-buffer residency any NI reached under that bound.
+	BackpressureWait float64
+	PeakBuffered     int
 }
 
 // DeliveryError is the typed failure of a reliable multicast: the
@@ -145,15 +245,50 @@ func (e *DeliveryError) Error() string {
 		len(e.Orphaned), cause, e.Orphaned)
 }
 
+// CrashError is the typed failure of a crash-afflicted multicast: the run
+// missed its quorum (or the root itself crashed). The Result returned
+// alongside still describes everything that did complete.
+type CrashError struct {
+	// Crashed lists the hosts down when the run ended; Undelivered the
+	// destinations (crashed or not) left without the full payload.
+	Crashed     []int
+	Undelivered []int
+	// Delivered is the number of destinations that completed, judged
+	// against Quorum (the effective threshold, after defaulting).
+	Delivered int
+	Quorum    int
+	// Epoch is the membership epoch in force at the end of the run.
+	Epoch int
+	// RootCrashed reports that the multicast source itself went down, which
+	// fails the operation regardless of quorum.
+	RootCrashed bool
+}
+
+// Error formats the failure.
+func (e *CrashError) Error() string {
+	if e.RootCrashed {
+		return fmt.Sprintf("reliable: multicast root crashed (epoch %d, %d/%d destinations delivered)",
+			e.Epoch, e.Delivered, e.Delivered+len(e.Undelivered))
+	}
+	return fmt.Sprintf("reliable: quorum missed after crash(es) %v: %d delivered < quorum %d (epoch %d, undelivered %v)",
+		e.Crashed, e.Delivered, e.Quorum, e.Epoch, e.Undelivered)
+}
+
 // Deliver multicasts payload from the plan's tree root to every other tree
 // node under the fault plan, retransmitting and repairing as needed. It
-// always returns a Result; the error is a *DeliveryError when any
-// destination was left without the complete message (the fault-plan or
-// config validation errors are ordinary). The run is fully deterministic
-// for a fixed (system, plan, payload, config, fault plan).
+// always returns a Result; the error is a *DeliveryError when a crash-free
+// plan left any destination without the complete message, and a
+// *CrashError when a crash-afflicted run missed its quorum (the fault-plan
+// or config validation errors are ordinary). The run is fully
+// deterministic for a fixed (system, plan, payload, config, fault plan).
 func Deliver(sys *core.System, plan *core.Plan, payload []byte, cfg Config, fp sim.FaultPlan) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if len(fp.Crashes) > 0 {
+		if err := cfg.Heartbeat.Validate(); err != nil {
+			return nil, err
+		}
 	}
 	faults, err := fp.Arm()
 	if err != nil {
@@ -173,6 +308,8 @@ func Deliver(sys *core.System, plan *core.Plan, payload []byte, cfg Config, fp s
 func (mc *machine) finish() (*Result, error) {
 	res := mc.res
 	res.Faults = mc.faults.Stats
+	res.Epoch = mc.epoch
+	res.Crashed = mc.faults.DownHosts(mc.eng.Now())
 	root := mc.root
 	for v, n := range mc.nodes {
 		if v == root {
@@ -190,8 +327,32 @@ func (mc *machine) finish() (*Result, error) {
 			res.Latency = t
 		}
 	}
-	if len(res.Orphaned) > 0 {
+	if len(res.Orphaned) == 0 {
+		res.Status = Delivered
+		return res, nil
+	}
+	if mc.det == nil {
+		// Crash-free plan: the pre-crash contract, a *DeliveryError.
+		res.Status = Failed
 		return res, &DeliveryError{Orphaned: res.Orphaned, Partitioned: res.Partitioned}
 	}
-	return res, nil
+	dests := len(mc.nodes) - 1
+	delivered := dests - len(res.Orphaned)
+	quorum := mc.cfg.Quorum
+	if quorum <= 0 || quorum > dests {
+		quorum = dests
+	}
+	if !mc.rootCrashed && delivered >= quorum {
+		res.Status = DeliveredPartial
+		return res, nil
+	}
+	res.Status = Failed
+	return res, &CrashError{
+		Crashed:     res.Crashed,
+		Undelivered: res.Orphaned,
+		Delivered:   delivered,
+		Quorum:      quorum,
+		Epoch:       res.Epoch,
+		RootCrashed: mc.rootCrashed,
+	}
 }

@@ -61,11 +61,21 @@ func (mc *machine) repair(from, to int) {
 	if len(reachable) == 0 {
 		return
 	}
-	for _, v := range reachable {
+	mc.graft(from, reachable)
+	mc.res.Repairs++
+}
+
+// graft re-parents the orphans onto a fresh k-binomial subtree under
+// `from` — the paper's Fig.-11 contention-free construction, re-run over
+// the survivors — then has each new parent replay the packets it already
+// holds (packet-major, like the root's FPFS seeding); packets it still
+// lacks forward on arrival through the normal receive path.
+func (mc *machine) graft(from int, orphans []int) {
+	for _, v := range orphans {
 		mc.detach(v)
 		mc.nodes[v].regrafts++
 	}
-	chain := mc.sys.Ord.Chain(from, reachable)
+	chain := mc.sys.Ord.Chain(from, orphans)
 	sub := tree.KBinomial(chain, mc.k)
 	added := map[int][]int{}
 	var order []int
@@ -78,9 +88,6 @@ func (mc *machine) repair(from, to int) {
 		mc.nodes[e.Child].parent = e.Parent
 		mc.newEdge(e.Parent, e.Child)
 	}
-	// Each new parent replays the packets it already holds to its grafted
-	// children (packet-major, like the root's FPFS seeding); packets it
-	// still lacks forward on arrival through the normal receive path.
 	for _, u := range order {
 		un := mc.nodes[u]
 		for j := 0; j < mc.m; j++ {
@@ -88,12 +95,11 @@ func (mc *machine) repair(from, to int) {
 				continue
 			}
 			for _, c := range added[u] {
-				un.queue = append(un.queue, op{u, c, j, mc.edges[[2]int{u, c}].gen})
+				un.queue = append(un.queue, op{from: u, to: c, seq: j, gen: mc.edges[[2]int{u, c}].gen})
 			}
 		}
 		mc.pump(u)
 	}
-	mc.res.Repairs++
 }
 
 // applyKills folds every link kill scheduled at or before now into the
@@ -226,4 +232,5 @@ func (mc *machine) abandon(v int) {
 			mc.killEdge(es)
 		}
 	}
+	mc.checkFinished()
 }

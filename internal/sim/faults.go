@@ -24,6 +24,23 @@ type HostStall struct {
 	Stall netiface.Stall
 }
 
+// HostCrash schedules a crash-stop of one host at an absolute simulation
+// time: from At on, the host neither sends, receives, acknowledges, nor
+// forwards, and every packet addressed to it is lost on arrival. A crash
+// drops the host's entire NI state — send queue, receive buffers,
+// reassembly progress. If RecoverAt > At the host rejoins at RecoverAt
+// with empty buffers (crash-recovery); RecoverAt == 0 means the host
+// never comes back (crash-stop). At most one crash may be scheduled per
+// host.
+type HostCrash struct {
+	Host      int
+	At        float64 // microseconds
+	RecoverAt float64 // 0 = never; otherwise must be > At
+}
+
+// CrashStop reports whether the crash is permanent.
+func (c HostCrash) CrashStop() bool { return c.RecoverAt == 0 }
+
 // FaultPlan describes the dynamic faults of one simulated run. The plan is
 // fully deterministic: probabilistic faults are sampled from a private
 // splitmix64 stream seeded by Seed, in event order, so a (plan, workload)
@@ -35,6 +52,7 @@ type FaultPlan struct {
 	AckDropRate float64 // control-packet (ACK/NACK) loss probability
 	Stalls      []HostStall
 	Kills       []LinkKill
+	Crashes     []HostCrash
 }
 
 // Validate reports the first invalid field.
@@ -60,6 +78,19 @@ func (p FaultPlan) Validate() error {
 			return fmt.Errorf("sim: invalid link kill %+v", k)
 		}
 	}
+	crashed := map[int]bool{}
+	for _, c := range p.Crashes {
+		if c.Host < 0 || c.At < 0 {
+			return fmt.Errorf("sim: invalid host crash %+v", c)
+		}
+		if c.RecoverAt != 0 && c.RecoverAt <= c.At {
+			return fmt.Errorf("sim: host %d recovery at %f not after crash at %f", c.Host, c.RecoverAt, c.At)
+		}
+		if crashed[c.Host] {
+			return fmt.Errorf("sim: host %d crashed more than once", c.Host)
+		}
+		crashed[c.Host] = true
+	}
 	return nil
 }
 
@@ -67,21 +98,24 @@ func (p FaultPlan) Validate() error {
 // take the lossless fast path.
 func (p FaultPlan) Zero() bool {
 	return p.DropRate == 0 && p.CorruptRate == 0 && p.AckDropRate == 0 &&
-		len(p.Stalls) == 0 && len(p.Kills) == 0
+		len(p.Stalls) == 0 && len(p.Kills) == 0 && len(p.Crashes) == 0
 }
 
 // FaultStats counts the faults one run actually injected.
 type FaultStats struct {
-	Dropped   int     // data packets lost in transit
-	Corrupted int     // data packets delivered with damaged bytes
-	AcksLost  int     // control packets (ACK/NACK) lost
-	DeadSends int     // injections across an already-killed link (lost)
-	StallWait float64 // total injection delay caused by NI stalls (us)
+	Dropped    int     // data packets lost in transit
+	Corrupted  int     // data packets delivered with damaged bytes
+	AcksLost   int     // control packets (ACK/NACK) lost
+	DeadSends  int     // injections across an already-killed link (lost)
+	CrashDrops int     // packets lost because a host was down (crashed)
+	Crashes    int     // host-crash events applied during the run
+	Recoveries int     // host-recovery events applied during the run
+	StallWait  float64 // total injection delay caused by NI stalls (us)
 }
 
 // Total returns the number of discrete fault events (StallWait excluded).
 func (s FaultStats) Total() int {
-	return s.Dropped + s.Corrupted + s.AcksLost + s.DeadSends
+	return s.Dropped + s.Corrupted + s.AcksLost + s.DeadSends + s.CrashDrops + s.Crashes
 }
 
 // FaultState is one run's armed fault plan: a private RNG, normalized
@@ -90,12 +124,25 @@ func (s FaultStats) Total() int {
 // All sampling methods are nil-receiver-safe and fault-free on nil, so the
 // simulator can consult an unarmed state unconditionally.
 type FaultState struct {
-	rng                    *workload.RNG
+	rng *workload.RNG
+	// jrng is a dedicated stream for retransmission-backoff jitter,
+	// decorrelated from the drop/corrupt/ack sampling stream. Keeping the
+	// two apart means crash- or repair-induced extra backoff draws cannot
+	// shift the loss decisions of the rest of the run, so a crash replay
+	// differs from its crash-free counterpart only where the crash itself
+	// intervened.
+	jrng                   *workload.RNG
 	drop, corrupt, ackDrop float64
 	stalls                 map[int][]netiface.Stall
 	killAt                 map[int]float64
+	crashes                []HostCrash
+	crashAt                map[int]float64
+	recoverAt              map[int]float64
 	Stats                  FaultStats
 }
+
+// jitterMix decorrelates the backoff-jitter stream from the loss stream.
+const jitterMix = 0x9e6c_a61b_60ca_77d5
 
 // Arm validates the plan and builds its per-run state.
 func (p FaultPlan) Arm() (*FaultState, error) {
@@ -103,11 +150,27 @@ func (p FaultPlan) Arm() (*FaultState, error) {
 		return nil, err
 	}
 	f := &FaultState{
-		rng:    workload.NewRNG(p.Seed),
-		stalls: map[int][]netiface.Stall{},
-		killAt: map[int]float64{},
+		rng:       workload.NewRNG(p.Seed),
+		jrng:      workload.NewRNG(p.Seed ^ jitterMix),
+		stalls:    map[int][]netiface.Stall{},
+		killAt:    map[int]float64{},
+		crashAt:   map[int]float64{},
+		recoverAt: map[int]float64{},
 	}
 	f.drop, f.corrupt, f.ackDrop = p.DropRate, p.CorruptRate, p.AckDropRate
+	f.crashes = append([]HostCrash(nil), p.Crashes...)
+	sort.Slice(f.crashes, func(i, j int) bool {
+		if f.crashes[i].At != f.crashes[j].At {
+			return f.crashes[i].At < f.crashes[j].At
+		}
+		return f.crashes[i].Host < f.crashes[j].Host
+	})
+	for _, c := range f.crashes {
+		f.crashAt[c.Host] = c.At
+		if c.RecoverAt > 0 {
+			f.recoverAt[c.Host] = c.RecoverAt
+		}
+	}
 	byHost := map[int][]netiface.Stall{}
 	for _, s := range p.Stalls {
 		byHost[s.Host] = append(byHost[s.Host], s.Stall)
@@ -182,12 +245,14 @@ func (f *FaultState) CorruptByte(packetLen int) int {
 }
 
 // Jitter returns a uniform draw in [0, frac) used to de-synchronize
-// retransmission backoff; 0 on a nil state or non-positive frac.
+// retransmission backoff; 0 on a nil state or non-positive frac. Jitter
+// draws come from their own splitmix64 stream (seeded from the plan seed),
+// so extra backoff during crash recovery never perturbs the loss stream.
 func (f *FaultState) Jitter(frac float64) float64 {
 	if f == nil || frac <= 0 {
 		return 0
 	}
-	return f.rng.Float64() * frac
+	return f.jrng.Float64() * frac
 }
 
 // StallDelay returns how long host h's send engine attempted at time t must
@@ -224,6 +289,51 @@ func (f *FaultState) RouteDead(r routing.Route, t float64) bool {
 		}
 	}
 	return false
+}
+
+// Crashes returns the armed host-crash schedule, ascending by (At, Host).
+// The slice is shared; callers must not mutate it.
+func (f *FaultState) Crashes() []HostCrash {
+	if f == nil {
+		return nil
+	}
+	return f.crashes
+}
+
+// HostDown reports whether host h is crashed (and not yet recovered) at
+// time t.
+func (f *FaultState) HostDown(h int, t float64) bool {
+	if f == nil || len(f.crashAt) == 0 {
+		return false
+	}
+	at, ok := f.crashAt[h]
+	if !ok || t < at {
+		return false
+	}
+	rec, ok := f.recoverAt[h]
+	return !ok || t < rec
+}
+
+// DownHosts returns the hosts down at time t, ascending.
+func (f *FaultState) DownHosts(t float64) []int {
+	if f == nil {
+		return nil
+	}
+	var out []int
+	for h := range f.crashAt {
+		if f.HostDown(h, t) {
+			out = append(out, h)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// NoteCrashDrop counts one packet lost because its endpoint was down.
+func (f *FaultState) NoteCrashDrop() {
+	if f != nil {
+		f.Stats.CrashDrops++
+	}
 }
 
 // KilledLinks returns the link IDs with a scheduled kill at or before t,

@@ -35,6 +35,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/ktree"
+	"repro/internal/membership"
 	"repro/internal/netiface"
 	"repro/internal/reliable"
 	"repro/internal/sim"
@@ -139,6 +140,30 @@ type (
 	// DeliveryError is the typed failure when destinations stay
 	// undelivered (partition or exhausted retries).
 	DeliveryError = reliable.DeliveryError
+	// HostCrash schedules a crash-stop (RecoverAt 0) or crash-recovery
+	// host fault at an absolute time.
+	HostCrash = sim.HostCrash
+	// CrashError is the typed failure when host crashes leave delivery
+	// below the configured quorum (or take down the root).
+	CrashError = reliable.CrashError
+	// DeliveryStatus is the three-valued reliable-delivery verdict.
+	DeliveryStatus = reliable.Status
+	// GroupView is one epoch-numbered membership view installed by the
+	// heartbeat failure detector during a crash-tolerant delivery.
+	GroupView = membership.View
+	// MembershipConfig tunes the heartbeat failure detector.
+	MembershipConfig = membership.Config
+)
+
+// Reliable-delivery verdicts (see reliable.Status).
+const (
+	// Delivered: every destination received the full message.
+	Delivered = reliable.Delivered
+	// DeliveredPartial: crashes left some destinations unreached, but at
+	// least the configured quorum completed.
+	DeliveredPartial = reliable.DeliveredPartial
+	// DeliveryFailed: delivery fell below quorum (or the root crashed).
+	DeliveryFailed = reliable.Failed
 )
 
 // DefaultReliableConfig returns the reliable protocol defaults.
@@ -205,6 +230,10 @@ func ModelLatency(n, m int, c Costs) (latency float64, k int) {
 // Group is a rank-addressed communicator over a subset of hosts with
 // byte-level collective operations (see internal/comm).
 type Group = comm.Group
+
+// BcastReliableResult reports a crash-tolerant group broadcast (see
+// Group.BcastReliable).
+type BcastReliableResult = comm.BcastReliableResult
 
 // NewGroup creates a communicator over the given hosts (rank i =
 // hosts[i]).
