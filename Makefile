@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check staticcheck mcastcheck soak ci figures clean
+.PHONY: all build test race vet fmt check staticcheck mcastcheck soak bench ci figures clean
 
 all: check
 
@@ -42,9 +42,22 @@ mcastcheck:
 	$(GO) run ./cmd/mcastcheck -n 500 -seed 1
 
 # Soak: a larger fixed-seed harness sweep — including the crash catalogue
-# (failure detection, epoch fencing, adoption) — under the race detector.
+# (failure detection, epoch fencing, adoption) — sharded over 4 workers
+# under the race detector, which also exercises the parallel runner's
+# synchronization. The report is byte-identical to a -workers 1 run.
 soak:
-	$(GO) run -race ./cmd/mcastcheck -n 2000 -seed 2
+	$(GO) run -race ./cmd/mcastcheck -n 2000 -seed 2 -workers 4
+
+# Bench: the tracked performance baseline. Runs the engine event-loop,
+# harness-throughput and reliable-delivery suites with -benchmem and
+# records the parsed results as BENCH_sim.json (see DESIGN.md §10 for how
+# to read it). -benchtime is fixed in iterations so run-to-run JSON diffs
+# reflect perf drift, not iteration-count noise.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkEngine|BenchmarkCheckCases|BenchmarkReliable|BenchmarkEventSimMulticast' \
+		-benchmem -benchtime 200x ./internal/sim ./internal/check . \
+		| $(GO) run ./cmd/benchjson -echo > BENCH_sim.json
+	@echo "wrote BENCH_sim.json"
 
 ci: check staticcheck mcastcheck
 

@@ -1,0 +1,39 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	line := "BenchmarkEngineEventLoop-8 \t    2000\t     13266 ns/op\t  38597834 events/sec\t      72 B/op\t       5 allocs/op"
+	b, ok := parseBenchLine(line, "repro/internal/sim")
+	if !ok {
+		t.Fatalf("line not parsed: %q", line)
+	}
+	if b.Name != "BenchmarkEngineEventLoop" || b.Procs != 8 || b.Iterations != 2000 {
+		t.Fatalf("parsed %+v", b)
+	}
+	want := map[string]float64{"ns/op": 13266, "events/sec": 38597834, "B/op": 72, "allocs/op": 5}
+	for unit, v := range want {
+		if b.Metrics[unit] != v {
+			t.Errorf("metric %s = %v, want %v", unit, b.Metrics[unit], v)
+		}
+	}
+}
+
+func TestParseBenchLineNoProcsSuffix(t *testing.T) {
+	b, ok := parseBenchLine("BenchmarkFoo \t 100 \t 5.5 ns/op", "p")
+	if !ok || b.Name != "BenchmarkFoo" || b.Procs != 0 || b.Metrics["ns/op"] != 5.5 {
+		t.Fatalf("parsed %+v ok=%v", b, ok)
+	}
+}
+
+func TestParseBenchLineRejectsGarbage(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkBroken",
+		"BenchmarkBroken-8 notanumber 5 ns/op",
+		"BenchmarkBroken-8 100 x ns/op",
+	} {
+		if _, ok := parseBenchLine(line, ""); ok {
+			t.Errorf("garbage line parsed: %q", line)
+		}
+	}
+}

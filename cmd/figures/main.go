@@ -4,11 +4,12 @@
 //
 // Usage:
 //
-//	figures [-out dir] [-quick] [-only fig14a]
+//	figures [-out dir] [-quick] [-only fig14a] [-workers n]
 //
 // Without -quick it runs the paper's full methodology (30 destination sets
 // on each of 10 random topologies per data point), which takes a few
-// minutes for the simulation-backed figures.
+// minutes for the simulation-backed figures. -workers shards the sweep
+// trials over goroutines; the emitted tables are identical either way.
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"repro/internal/experiments"
 )
@@ -26,6 +28,7 @@ func main() {
 	only := flag.String("only", "", "run a single experiment by id (e.g. fig12a)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	csv := flag.Bool("csv", false, "also write <id>.<n>.csv files with the raw table data")
+	workers := flag.Int("workers", runtime.NumCPU(), "parallel sweep workers (1 = serial)")
 	flag.Parse()
 
 	if *list {
@@ -39,6 +42,7 @@ func main() {
 	if *quick {
 		cfg = experiments.Quick()
 	}
+	cfg.Workers = *workers
 
 	run := experiments.All()
 	if *only != "" {

@@ -7,60 +7,85 @@
 // Usage:
 //
 //	mcastcheck -n 500 -seed 1        # check cases 0..499 of seed 1
+//	mcastcheck -cases 2000 -workers 8  # same sweep, sharded over 8 CPUs
 //	mcastcheck -seed 1 -case 137     # replay one case (a token)
 //	mcastcheck -list                 # print the invariant catalogue
 //
-// Exit status is 1 when any invariant is violated.
+// The report on stdout is a deterministic function of (seed, cases):
+// byte-identical for every -workers value (timing goes to stderr).
+// Exit status is 1 when any invariant is violated, 2 on a usage error.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/check"
 )
 
+// runHarness is swapped by the exit-path test for a stub that fails.
+var runHarness = check.RunParallel
+
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of main: it returns the process exit code
+// instead of calling os.Exit, so the it-must-exit-nonzero-on-failure
+// contract the CI soak relies on is enforceable by a unit test.
+func run(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("mcastcheck", flag.ContinueOnError)
+	fs.SetOutput(errw)
 	var (
-		n       = flag.Int("n", 500, "number of cases to run")
-		seed    = flag.Uint64("seed", 1, "harness seed")
-		caseNo  = flag.Int("case", -1, "replay a single case instead of a sweep")
-		maxFail = flag.Int("maxfail", 10, "stop after this many failing cases (0 = no limit)")
-		list    = flag.Bool("list", false, "print the invariant catalogue and exit")
-		verbose = flag.Bool("v", false, "print each generated instance")
+		n       = fs.Int("n", 500, "number of cases to run")
+		cases   = fs.Int("cases", 0, "alias for -n (takes precedence when set)")
+		seed    = fs.Uint64("seed", 1, "harness seed")
+		caseNo  = fs.Int("case", -1, "replay a single case instead of a sweep")
+		maxFail = fs.Int("maxfail", 10, "stop after this many failing cases (0 = no limit)")
+		workers = fs.Int("workers", runtime.NumCPU(), "parallel case workers (1 = serial; <1 = NumCPU)")
+		list    = fs.Bool("list", false, "print the invariant catalogue and exit")
+		verbose = fs.Bool("v", false, "print each generated instance")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *cases > 0 {
+		*n = *cases
+	}
 
 	if *list {
 		for _, inv := range check.Invariants {
-			fmt.Printf("%-24s %s\n", inv.ID, inv.Doc)
+			fmt.Fprintf(out, "%-24s %s\n", inv.ID, inv.Doc)
 		}
-		return
+		return 0
 	}
 
 	if *caseNo >= 0 {
 		inst := check.Generate(*seed, *caseNo)
-		fmt.Printf("case %d of seed %d: %s\n", *caseNo, *seed, inst)
+		fmt.Fprintf(out, "case %d of seed %d: %s\n", *caseNo, *seed, inst)
 		if f := check.RunCase(*seed, *caseNo); f != nil {
-			fmt.Print(f)
-			os.Exit(1)
+			fmt.Fprint(out, f)
+			return 1
 		}
-		fmt.Printf("all %d invariants hold\n", len(check.Invariants))
-		return
+		fmt.Fprintf(out, "all %d invariants hold\n", len(check.Invariants))
+		return 0
 	}
 
 	if *verbose {
 		for c := 0; c < *n; c++ {
-			fmt.Printf("case %4d: %s\n", c, check.Generate(*seed, c))
+			fmt.Fprintf(out, "case %4d: %s\n", c, check.Generate(*seed, c))
 		}
 	}
 	start := time.Now()
-	report := check.Run(*seed, *n, *maxFail)
-	fmt.Println(report)
-	fmt.Printf("elapsed: %s\n", time.Since(start).Round(time.Millisecond))
+	report := runHarness(*seed, *n, *maxFail, *workers)
+	fmt.Fprintln(out, report)
+	fmt.Fprintf(errw, "elapsed: %s (%d workers)\n", time.Since(start).Round(time.Millisecond), *workers)
 	if !report.OK() {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

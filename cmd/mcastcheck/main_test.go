@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/check"
+)
+
+// TestExitCodeOnFailure pins the contract the CI soak depends on: any
+// invariant failure must surface as a non-zero exit status, or a parallel
+// soak could pass green on a red harness.
+func TestExitCodeOnFailure(t *testing.T) {
+	orig := runHarness
+	defer func() { runHarness = orig }()
+	runHarness = func(seed uint64, n, maxFail, workers int) *check.Report {
+		return &check.Report{
+			Seed:  seed,
+			Cases: n,
+			Failures: []check.Failure{{
+				Case:       3,
+				Seed:       seed,
+				Violations: []check.Violation{{ID: "stub", Detail: "injected failure"}},
+			}},
+		}
+	}
+	var out, errw bytes.Buffer
+	if code := run([]string{"-n", "10", "-seed", "1"}, &out, &errw); code != 1 {
+		t.Fatalf("failing report exited %d, want 1\noutput:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "FAILED") {
+		t.Fatalf("failure report not printed:\n%s", out.String())
+	}
+}
+
+// TestExitCodeOnSuccess runs a real (small) sweep end to end.
+func TestExitCodeOnSuccess(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-n", "20", "-seed", "1", "-workers", "2"}, &out, &errw); code != 0 {
+		t.Fatalf("passing sweep exited %d, want 0\noutput:\n%s%s", code, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), "all passed") {
+		t.Fatalf("success report not printed:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "elapsed") {
+		t.Fatalf("timing leaked onto stdout (must stay byte-identical across -workers):\n%s", out.String())
+	}
+}
+
+// TestExitCodeOnUsageError: a bad flag is a usage error, not a pass.
+func TestExitCodeOnUsageError(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errw); code != 2 {
+		t.Fatalf("usage error exited %d, want 2", code)
+	}
+}
+
+// TestReplayExitCode covers the single-case replay path.
+func TestReplayExitCode(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-seed", "1", "-case", "7"}, &out, &errw); code != 0 {
+		t.Fatalf("replay of a passing case exited %d, want 0\noutput:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "invariants hold") {
+		t.Fatalf("replay verdict not printed:\n%s", out.String())
+	}
+}

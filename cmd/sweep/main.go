@@ -11,17 +11,22 @@
 //	sweep -axis ports [-values 1,2,4,8]        [-packets 16]
 //
 // Every point is averaged over -trials destination sets on each of -topos
-// random topologies, like the paper's methodology.
+// random topologies, like the paper's methodology. -workers shards the
+// (value, topology, trial) grid over that many goroutines; every cell is
+// an independent deterministic simulation and the results fold back in
+// grid order, so the CSV is byte-identical for every worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
 	"repro"
+	"repro/internal/par"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -34,6 +39,7 @@ func main() {
 	treeKind := flag.String("tree", "optimal", "tree policy: optimal, binomial, linear (ignored for axis=k)")
 	trials := flag.Int("trials", 10, "destination sets per topology")
 	topos := flag.Int("topos", 4, "random topologies")
+	workers := flag.Int("workers", runtime.NumCPU(), "parallel grid workers (1 = serial)")
 	flag.Parse()
 
 	defaults := map[string]string{
@@ -80,36 +86,48 @@ func main() {
 		systems[t] = repro.NewIrregularSystem(repro.DefaultIrregularConfig(), sweep.TopologySeed(t))
 	}
 
+	// One grid cell per (axis value, topology, trial). Cells simulate in
+	// parallel into cell-indexed storage; the statistics fold sequentially
+	// in grid order below, which keeps the CSV bit-exact across -workers.
+	perValue := *topos * sweep.Trials
+	type cell struct{ latency, wait float64 }
+	cells := make([]cell, len(values)*perValue)
+	par.For(len(cells), *workers, func(j int) {
+		v := values[j/perValue]
+		t := j % perValue / sweep.Trials
+		i := j % sweep.Trials
+		rng := sweep.TrialRNG(t, i)
+		params := repro.DefaultParams()
+		dc, m, k := *dests, *packets, 0
+		pol := policy
+		switch *axis {
+		case "m":
+			m = int(v)
+		case "dests":
+			dc = int(v)
+		case "k":
+			k = int(v)
+			pol = repro.FixedKTree
+		case "tns":
+			params.TNISend = v
+		case "ports":
+			params.NIPorts = int(v)
+		}
+		sys := systems[t]
+		set := workload.DestSet(rng, 64, dc)
+		spec := repro.Spec{Source: set[0], Dests: set[1:], Packets: m, Policy: pol, K: k}
+		res := sys.Simulate(sys.Plan(spec), params, repro.FPFS)
+		cells[j] = cell{latency: res.Latency, wait: res.ChannelWait}
+	})
+
 	tb := stats.NewTable("", *axis, "latency_us_mean", "latency_us_std", "latency_us_p95", "channel_wait_us")
-	for _, v := range values {
+	for vi, v := range values {
 		var lat stats.Sample
 		var latSum, wait stats.Summary
-		for t, sys := range systems {
-			for i := 0; i < sweep.Trials; i++ {
-				rng := sweep.TrialRNG(t, i)
-				params := repro.DefaultParams()
-				dc, m, k := *dests, *packets, 0
-				pol := policy
-				switch *axis {
-				case "m":
-					m = int(v)
-				case "dests":
-					dc = int(v)
-				case "k":
-					k = int(v)
-					pol = repro.FixedKTree
-				case "tns":
-					params.TNISend = v
-				case "ports":
-					params.NIPorts = int(v)
-				}
-				set := workload.DestSet(rng, 64, dc)
-				spec := repro.Spec{Source: set[0], Dests: set[1:], Packets: m, Policy: pol, K: k}
-				res := sys.Simulate(sys.Plan(spec), params, repro.FPFS)
-				lat.Add(res.Latency)
-				latSum.Add(res.Latency)
-				wait.Add(res.ChannelWait)
-			}
+		for _, c := range cells[vi*perValue : (vi+1)*perValue] {
+			lat.Add(c.latency)
+			latSum.Add(c.latency)
+			wait.Add(c.wait)
 		}
 		tb.AddRow(
 			strconv.FormatFloat(v, 'g', -1, 64),

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/analytic"
 	"repro/internal/flitsim"
@@ -386,9 +387,17 @@ func checkReliableLosslessReplay(w *world) error {
 		return fmt.Errorf("zero-fault sends=%d retransmits=%d duplicates=%d, lossless engine sends=%d",
 			res.Sends, res.Retransmits, res.Duplicates, want.Sends)
 	}
-	for h, t := range want.HostDone {
-		if res.HostDone[h] != t {
-			return fmt.Errorf("zero-fault host %d done at %f, lossless engine says %f", h, res.HostDone[h], t)
+	// Iterate hosts in sorted order: the violation detail must name the
+	// same host on every run, or parallel and serial harness reports could
+	// diff on a real failure.
+	hosts := make([]int, 0, len(want.HostDone))
+	for h := range want.HostDone {
+		hosts = append(hosts, h)
+	}
+	sort.Ints(hosts)
+	for _, h := range hosts {
+		if res.HostDone[h] != want.HostDone[h] {
+			return fmt.Errorf("zero-fault host %d done at %f, lossless engine says %f", h, res.HostDone[h], want.HostDone[h])
 		}
 	}
 	for _, d := range w.inst.Dests {

@@ -1,0 +1,69 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stepsim"
+)
+
+// goldenReport builds a synthetic failing report exercising every field
+// the renderer touches.
+func goldenReport() *Report {
+	inst := Instance{
+		Topo: TopoMesh, Arity: 3, Dims: 2,
+		Source: 4, Dests: []int{0, 7, 2}, Packets: 3,
+		Disc: stepsim.FPFS, K: 2,
+		DropRate: 0.05, FaultSeed: 0xbeef, PayloadBytes: 40,
+		Crashes: []CrashSpec{{Host: 7, AtStep: 5}, {Host: 2, AtStep: 3, RecoverStep: 9}},
+	}
+	shrunk := Instance{
+		Topo: TopoMesh, Arity: 2, Dims: 1,
+		Source: 0, Dests: []int{1}, Packets: 1,
+		Disc: stepsim.FPFS, K: 1,
+	}
+	return &Report{
+		Seed:  42,
+		Cases: 8,
+		Failures: []Failure{{
+			Case:     7,
+			Seed:     42,
+			Instance: inst,
+			Violations: []Violation{
+				{ID: "t1-exact", Detail: "single-packet schedule takes 5 steps, Steps1(4,2) = 3"},
+				{ID: "discipline-order", Detail: "FPFS 9 steps > FCFS 8 steps"},
+			},
+			Shrunk:          shrunk,
+			ShrunkViolation: Violation{ID: "t1-exact", Detail: "single-packet schedule takes 2 steps, Steps1(2,1) = 1"},
+		}},
+	}
+}
+
+// TestReportRenderingGolden pins the failure report byte for byte: replay
+// tokens, instance syntax, violation order. The parallel runner's output
+// must diff clean against the serial runner's, so any nondeterminism or
+// accidental format drift here is a bug.
+func TestReportRenderingGolden(t *testing.T) {
+	const want = `check: 8 cases from seed 42: 1 FAILED
+case 7: 2 invariant violation(s)
+  [t1-exact] single-packet schedule takes 5 steps, Steps1(4,2) = 3
+  [discipline-order] FPFS 9 steps > FCFS 8 steps
+  instance: mesh[3^2] hosts=9 src=4 dests=[0 7 2] m=3 disc=FPFS k=2 ord=informed drop=0.050 fseed=0xbeef crash=7@5 crash=2@3..9 payload=40B
+  shrunk:   mesh[2^1] hosts=2 src=0 dests=[1] m=1 disc=FPFS k=1 ord=informed payload=0B
+  shrunk violation: [t1-exact] single-packet schedule takes 2 steps, Steps1(2,1) = 1
+  replay:   mcastcheck -seed 42 -case 7`
+	for i := 0; i < 20; i++ {
+		if got := goldenReport().String(); got != want {
+			t.Fatalf("iteration %d: report rendering diverged\ngot:\n%s\nwant:\n%s", i, got, want)
+		}
+	}
+}
+
+// TestPassingReportRendering pins the all-passed summary line.
+func TestPassingReportRendering(t *testing.T) {
+	r := &Report{Seed: 5, Cases: 100}
+	got := r.String()
+	if !strings.Contains(got, "100 cases from seed 5") || !strings.Contains(got, "all passed") {
+		t.Fatalf("unexpected passing report: %q", got)
+	}
+}

@@ -92,13 +92,19 @@ func RunCase(seed uint64, c int) *Failure {
 	}
 }
 
+// runCase is RunCase behind a seam: the parallel-merge tests substitute a
+// stub with known failing cases to pin Run/RunParallel equivalence on the
+// failure paths (the real catalogue passes everywhere, so those paths are
+// otherwise unreachable in-tree).
+var runCase = RunCase
+
 // Run checks cases [0, n) of the seed, shrinking every failure. maxFail
 // stops the run early once that many cases have failed (0 = no limit), so
 // a systematically broken engine does not pay the shrink cost n times.
 func Run(seed uint64, n, maxFail int) *Report {
 	r := &Report{Seed: seed, Cases: n}
 	for c := 0; c < n; c++ {
-		if f := RunCase(seed, c); f != nil {
+		if f := runCase(seed, c); f != nil {
 			r.Failures = append(r.Failures, *f)
 			if maxFail > 0 && len(r.Failures) >= maxFail {
 				r.Cases = c + 1

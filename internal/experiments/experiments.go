@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/par"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/topology"
@@ -25,6 +26,19 @@ type Config struct {
 	Sweep workload.Sweep
 	// Params are the technology constants (defaults per Section 5.2).
 	Params sim.Params
+	// Workers shards the per-trial simulations of the sweep helpers over
+	// that many goroutines (0 or 1 = serial). Every trial is an
+	// independent deterministic simulation and results fold in trial
+	// order, so tables are identical for every worker count.
+	Workers int
+}
+
+// workers returns the effective worker count (min 1).
+func (c Config) workers() int {
+	if c.Workers < 1 {
+		return 1
+	}
+	return c.Workers
 }
 
 // Default returns the paper-faithful configuration.
@@ -104,16 +118,22 @@ func systems(cfg Config) []*core.System {
 
 // sweepLatency averages the simulated FPFS latency of the given policy
 // over the full methodology: cfg.Sweep.Trials destination sets on each
-// sweep topology, for destCount destinations and m packets.
+// sweep topology, for destCount destinations and m packets. Trials run on
+// cfg.Workers goroutines and fold in (topology, trial) order, so the
+// summary is bit-identical to a serial sweep.
 func sweepLatency(cfg Config, sys []*core.System, destCount, m int, policy core.TreePolicy) stats.Summary {
+	lat := make([]float64, len(sys)*cfg.Sweep.Trials)
+	par.For(len(lat), cfg.workers(), func(j int) {
+		t, i := j/cfg.Sweep.Trials, j%cfg.Sweep.Trials
+		s := sys[t]
+		rng := cfg.Sweep.TrialRNG(t, i)
+		set := workload.DestSet(rng, s.Net.NumHosts(), destCount)
+		spec := core.Spec{Source: set[0], Dests: set[1:], Packets: m, Policy: policy}
+		lat[j] = s.Latency(spec, cfg.Params)
+	})
 	var sum stats.Summary
-	for t, s := range sys {
-		for i := 0; i < cfg.Sweep.Trials; i++ {
-			rng := cfg.Sweep.TrialRNG(t, i)
-			set := workload.DestSet(rng, s.Net.NumHosts(), destCount)
-			spec := core.Spec{Source: set[0], Dests: set[1:], Packets: m, Policy: policy}
-			sum.Add(s.Latency(spec, cfg.Params))
-		}
+	for _, l := range lat {
+		sum.Add(l)
 	}
 	return sum
 }

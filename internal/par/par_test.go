@@ -1,0 +1,58 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEveryIndex(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, runtime.NumCPU()} {
+		n := 1000
+		hits := make([]int32, n)
+		For(n, workers, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times, want exactly once", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForZeroN(t *testing.T) {
+	For(0, 4, func(i int) { t.Fatalf("fn called for n=0 (i=%d)", i) })
+}
+
+func TestForIndexOrderFoldIsDeterministic(t *testing.T) {
+	// The contract callers rely on: write into i-indexed storage, fold in
+	// index order, and the result is independent of the worker count.
+	n := 257
+	fold := func(workers int) float64 {
+		vals := make([]float64, n)
+		For(n, workers, func(i int) { vals[i] = 1.0 / float64(i+1) })
+		sum := 0.0
+		for _, v := range vals {
+			sum += v
+		}
+		return sum
+	}
+	serial := fold(1)
+	for _, w := range []int{2, 3, runtime.NumCPU()} {
+		if got := fold(w); got != serial {
+			t.Fatalf("workers=%d folded to %v, serial folded to %v", w, got, serial)
+		}
+	}
+}
+
+func TestForPropagatesPanic(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	For(100, 4, func(i int) {
+		if i == 17 {
+			panic("boom")
+		}
+	})
+}

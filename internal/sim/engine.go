@@ -25,8 +25,9 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"math"
+	"sync"
 
 	"repro/internal/routing"
 )
@@ -66,9 +67,14 @@ func (p Params) Ports() int {
 }
 
 // BufferSlots returns the forwarding-buffer bound per NI; 0 = unbounded.
+// A negative NIBufferPackets is a configuration error — Validate rejects
+// it — and BufferSlots panics rather than silently mapping it to
+// "unbounded", which is the opposite of what a caller that skipped
+// Validate asked for.
 func (p Params) BufferSlots() int {
 	if p.NIBufferPackets < 0 {
-		return 0
+		panic(fmt.Sprintf("sim: negative NIBufferPackets %d (0 means unbounded; Validate rejects negatives)",
+			p.NIBufferPackets))
 	}
 	return p.NIBufferPackets
 }
@@ -104,8 +110,26 @@ func (p Params) StepTime(hops int) float64 {
 	return p.TNISend + float64(hops)*p.RouterDelay + p.WireTime() + p.TNIRecv
 }
 
-// Validate reports the first invalid field.
+// Validate reports the first invalid field. Non-finite floats are
+// rejected explicitly: NaN compares false against every threshold below,
+// so without this guard a Params{LinkBytesUS: math.NaN()} would pass and
+// poison every computed time downstream.
 func (p Params) Validate() error {
+	for _, f := range [...]struct {
+		name string
+		v    float64
+	}{
+		{"THostSend", p.THostSend},
+		{"THostRecv", p.THostRecv},
+		{"TNISend", p.TNISend},
+		{"TNIRecv", p.TNIRecv},
+		{"LinkBytesUS", p.LinkBytesUS},
+		{"RouterDelay", p.RouterDelay},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("sim: non-finite %s %v", f.name, f.v)
+		}
+	}
 	switch {
 	case p.THostSend < 0 || p.THostRecv < 0 || p.TNISend <= 0 || p.TNIRecv < 0:
 		return fmt.Errorf("sim: negative overhead in %+v", p)
@@ -128,18 +152,57 @@ type event struct {
 	fn  func()
 }
 
+// eventHeap is a hand-rolled binary min-heap ordered by (at, seq). It
+// replaces container/heap on the hot path: heap.Push/Pop box every event
+// into an interface, one allocation per scheduled event; sifting a plain
+// []event allocates nothing beyond the backing array.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !(*h).less(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	old[n] = event{} // drop the closure reference for the recycler
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && old[:n].less(l, least) {
+			least = l
+		}
+		if r < n && old[:n].less(r, least) {
+			least = r
+		}
+		if least == i {
+			break
+		}
+		old[i], old[least] = old[least], old[i]
+		i = least
+	}
+	return top
+}
 
 // Engine is the event loop plus channel state.
 type Engine struct {
@@ -150,9 +213,51 @@ type Engine struct {
 	faults   *FaultState
 }
 
+// enginePool recycles engine storage (event-heap backing arrays and
+// channel-occupancy slices) across runs: the harness and the experiment
+// sweeps build one engine per simulated multicast, and without the pool
+// those two arrays dominate the per-run allocation profile.
+var enginePool = sync.Pool{New: func() any { return new(Engine) }}
+
 // NewEngine creates an engine for a network with the given channel count.
+// Engines are drawn from a pool; callers that run many short simulations
+// should Recycle the engine once its results have been read out.
 func NewEngine(numChannels int) *Engine {
-	return &Engine{chanFree: make([]float64, numChannels)}
+	e := enginePool.Get().(*Engine)
+	e.now, e.seq, e.faults = 0, 0, nil
+	e.events = e.events[:0]
+	if cap(e.chanFree) < numChannels {
+		e.chanFree = make([]float64, numChannels)
+	} else {
+		e.chanFree = e.chanFree[:numChannels]
+		for i := range e.chanFree {
+			e.chanFree[i] = 0
+		}
+	}
+	return e
+}
+
+// Recycle returns the engine's storage to the pool. The engine must not
+// be used afterwards; forgetting to call it is safe (the engine is then
+// simply garbage).
+func (e *Engine) Recycle() {
+	for i := range e.events {
+		e.events[i] = event{}
+	}
+	e.events = e.events[:0]
+	e.faults = nil
+	enginePool.Put(e)
+}
+
+// Grow pre-sizes the event heap for n additional events, so a run whose
+// event count is known up front (2 per packet transmission) pays at most
+// one heap growth.
+func (e *Engine) Grow(n int) {
+	if need := len(e.events) + n; need > cap(e.events) {
+		grown := make(eventHeap, len(e.events), need)
+		copy(grown, e.events)
+		e.events = grown
+	}
 }
 
 // Now returns the current simulation time.
@@ -172,13 +277,13 @@ func (e *Engine) At(t float64, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling into the past: %f < %f", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+	e.events.push(event{at: t, seq: e.seq, fn: fn})
 }
 
 // Run processes events until none remain, returning the final time.
 func (e *Engine) Run() float64 {
-	for e.events.Len() > 0 {
-		ev := heap.Pop(&e.events).(event)
+	for len(e.events) > 0 {
+		ev := e.events.pop()
 		e.now = ev.at
 		ev.fn()
 	}

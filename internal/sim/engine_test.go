@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/stepsim"
+	"repro/internal/tree"
+)
+
+// TestValidateRejectsNonFinite: NaN passes every ordered comparison, so
+// without an explicit guard a NaN bandwidth (or Inf overhead) sails
+// through Validate and poisons every computed time downstream.
+func TestValidateRejectsNonFinite(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	set := func(mut func(*Params)) Params {
+		p := DefaultParams()
+		mut(&p)
+		return p
+	}
+	cases := []struct {
+		name string
+		p    Params
+		want string // substring of the error; "" = must validate
+	}{
+		{"default-ok", DefaultParams(), ""},
+		{"nan-link", set(func(p *Params) { p.LinkBytesUS = nan }), "LinkBytesUS"},
+		{"inf-link", set(func(p *Params) { p.LinkBytesUS = inf }), "LinkBytesUS"},
+		{"neg-inf-link", set(func(p *Params) { p.LinkBytesUS = math.Inf(-1) }), "LinkBytesUS"},
+		{"nan-host-send", set(func(p *Params) { p.THostSend = nan }), "THostSend"},
+		{"inf-host-recv", set(func(p *Params) { p.THostRecv = inf }), "THostRecv"},
+		{"nan-ni-send", set(func(p *Params) { p.TNISend = nan }), "TNISend"},
+		{"nan-ni-recv", set(func(p *Params) { p.TNIRecv = nan }), "TNIRecv"},
+		{"inf-router", set(func(p *Params) { p.RouterDelay = inf }), "RouterDelay"},
+		{"nan-router", set(func(p *Params) { p.RouterDelay = nan }), "RouterDelay"},
+		{"neg-buffer", set(func(p *Params) { p.NIBufferPackets = -1 }), "buffer"},
+		{"neg-link", set(func(p *Params) { p.LinkBytesUS = -160 }), "bandwidth"},
+	}
+	for _, tc := range cases {
+		err := tc.p.Validate()
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("%s: Validate() = %v, want nil", tc.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: Validate() accepted %+v", tc.name, tc.p)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Validate() = %q, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestBufferSlotsNegativePanics: Validate rejects negative bounds, so a
+// caller that skipped Validate must not silently get "unbounded" — the
+// opposite of the configured backpressure.
+func TestBufferSlotsNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("BufferSlots on NIBufferPackets=-3 did not panic")
+		}
+	}()
+	p := DefaultParams()
+	p.NIBufferPackets = -3
+	p.BufferSlots()
+}
+
+func TestBufferSlotsBounds(t *testing.T) {
+	p := DefaultParams()
+	if got := p.BufferSlots(); got != 0 {
+		t.Fatalf("default BufferSlots() = %d, want 0 (unbounded)", got)
+	}
+	p.NIBufferPackets = 7
+	if got := p.BufferSlots(); got != 7 {
+		t.Fatalf("BufferSlots() = %d, want 7", got)
+	}
+}
+
+// benchTree builds a deterministic 32-node k-binomial tree for the
+// allocation tests and engine benchmarks.
+func benchTree(k int) *tree.Tree {
+	chain := make([]int, 32)
+	for i := range chain {
+		chain[i] = i
+	}
+	return tree.KBinomial(chain, k)
+}
+
+// TestMulticastAllocationRegression pins the pooled event loop's
+// allocation budget. The unpooled loop (container/heap boxing + fresh
+// closures per packet copy) spent ~8.5 allocations per packet-send on
+// this workload; the pooled loop spends under 3. The bound has headroom
+// for Go-version noise but fails loudly if pooling regresses.
+func TestMulticastAllocationRegression(t *testing.T) {
+	_, r, _ := testSystem(1)
+	tr := benchTree(2)
+	p := DefaultParams()
+	// Warm the engine and sendOp pools so steady-state behavior is measured.
+	Multicast(r, tr, 8, p, stepsim.FPFS)
+	sends := float64(31 * 8)
+	allocs := testing.AllocsPerRun(20, func() {
+		Multicast(r, tr, 8, p, stepsim.FPFS)
+	})
+	if perSend := allocs / sends; perSend > 3 {
+		t.Fatalf("event loop allocates %.1f/run = %.2f per packet-send, budget 3 (unpooled baseline ~8.5)",
+			allocs, perSend)
+	}
+}
+
+// TestEnginePoolDeterminism: recycled engine/op storage must not leak
+// state between runs — repeating a simulation on warm pools reproduces
+// cold-pool results exactly.
+func TestEnginePoolDeterminism(t *testing.T) {
+	_, r, _ := testSystem(7)
+	tr := benchTree(3)
+	p := DefaultParams()
+	first := Multicast(r, tr, 5, p, stepsim.FPFS)
+	for i := 0; i < 10; i++ {
+		again := Multicast(r, tr, 5, p, stepsim.FPFS)
+		if again.Latency != first.Latency || again.Sends != first.Sends ||
+			again.ChannelWait != first.ChannelWait {
+			t.Fatalf("run %d on warm pools: latency=%f sends=%d wait=%f, first run: %f/%d/%f",
+				i, again.Latency, again.Sends, again.ChannelWait,
+				first.Latency, first.Sends, first.ChannelWait)
+		}
+		for h, ht := range first.HostDone {
+			if again.HostDone[h] != ht {
+				t.Fatalf("run %d: host %d done at %f, first run %f", i, h, again.HostDone[h], ht)
+			}
+		}
+	}
+	// And under a lossy fault plane (drops recycle ops on the early path).
+	plan := FaultPlan{Seed: 3, DropRate: 0.2}
+	sessions := []Session{{Tree: tr, Packets: 5}}
+	f1, err := ConcurrentFaulty(r, sessions, p, stepsim.FPFS, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		f2, err := ConcurrentFaulty(r, sessions, p, stepsim.FPFS, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f2.Sends != f1.Sends || f2.Faults.Dropped != f1.Faults.Dropped || f2.Makespan != f1.Makespan {
+			t.Fatalf("lossy replay %d diverged: sends=%d dropped=%d makespan=%f, first %d/%d/%f",
+				i, f2.Sends, f2.Faults.Dropped, f2.Makespan, f1.Sends, f1.Faults.Dropped, f1.Makespan)
+		}
+	}
+}
+
+// TestRecycledEngineIsClean: a pooled engine must come back with zeroed
+// clock, sequence and channel state regardless of what the previous run
+// left behind.
+func TestRecycledEngineIsClean(t *testing.T) {
+	e := NewEngine(4)
+	e.At(5, func() {})
+	e.Run()
+	e.chanFree[2] = 99
+	e.Recycle()
+	e2 := NewEngine(4)
+	if e2.Now() != 0 {
+		t.Fatalf("recycled engine starts at t=%f, want 0", e2.Now())
+	}
+	for i, v := range e2.chanFree {
+		if v != 0 {
+			t.Fatalf("recycled engine channel %d free at %f, want 0", i, v)
+		}
+	}
+}

@@ -87,13 +87,14 @@ type sessNode struct {
 }
 
 // hostNI is the shared per-host network interface: one send queue and one
-// buffer pool across sessions.
+// buffer pool across sessions. sess is indexed by session number (nil for
+// sessions this host takes no part in).
 type hostNI struct {
 	queue       []sessOp
 	inFlight    int // copies currently being injected (bounded by Params.Ports)
 	buffered    int
 	maxBuffered int
-	sess        map[int]*sessNode
+	sess        []*sessNode
 }
 
 type concSim struct {
@@ -103,11 +104,71 @@ type concSim struct {
 	router routing.Router
 	wire   float64
 	specs  []Session
-	nis    map[int]*hostNI
+	nis    []*hostNI // indexed by host id; nil for uninvolved hosts
 	routes map[[2]int]routing.Route
 	res    *ConcurrentResult
 	trace  *[]TraceEvent
 	faults *FaultState
+	free   []*sendOp
+}
+
+// sendOp is one in-flight packet copy. The struct carries everything its
+// two engine callbacks need, and the callbacks themselves are bound once
+// per struct (they read the fields at fire time), so recycling ops through
+// concSim.free means steady-state sends allocate neither closures nor
+// callback state — the dominant allocation source of the unpooled loop.
+type sendOp struct {
+	s        *concSim
+	ni       *hostNI
+	sn       *sessNode
+	op       sessOp
+	v        int  // sending host
+	delivers bool // false when the fault plane eats the packet
+
+	completeFn func() // bound to (*sendOp).complete
+	deliverFn  func() // bound to (*sendOp).deliver
+}
+
+func (s *concSim) newSendOp() *sendOp {
+	if n := len(s.free); n > 0 {
+		op := s.free[n-1]
+		s.free = s.free[:n-1]
+		return op
+	}
+	op := &sendOp{s: s}
+	op.completeFn = op.complete
+	op.deliverFn = op.deliver
+	return op
+}
+
+func (s *concSim) release(op *sendOp) {
+	op.ni, op.sn = nil, nil
+	s.free = append(s.free, op)
+}
+
+// complete fires when the packet has left the sending NI: the copy slot
+// frees, the buffered packet is dropped once its last copy is out, and the
+// NI pump restarts. It is always scheduled before (and at router delay
+// zero, tie-broken by seq ahead of) the matching deliver, so a dropped
+// packet's op can be recycled here.
+func (op *sendOp) complete() {
+	s, v := op.s, op.v
+	op.ni.inFlight--
+	op.sn.copiesLeft[op.op.packet]--
+	if op.sn.copiesLeft[op.op.packet] == 0 {
+		op.ni.buffered--
+	}
+	if !op.delivers {
+		s.release(op)
+	}
+	s.pump(v)
+}
+
+// deliver fires when the packet has fully arrived at the receiving NI.
+func (op *sendOp) deliver() {
+	s, si, dst, pkt := op.s, op.op.sess, op.op.to, op.op.packet
+	s.release(op)
+	s.deliver(si, dst, pkt)
 }
 
 // Concurrent simulates several multicast sessions sharing one network and
@@ -145,6 +206,15 @@ func concurrentRun(router routing.Router, sessions []Session, p Params, disc ste
 	if len(sessions) == 0 {
 		panic("sim: no sessions")
 	}
+	// Pre-size everything whose extent is known up front: the host table,
+	// the route map, and the event heap (two events per packet copy, one
+	// start event per session).
+	totalNodes, totalEvents := 0, len(sessions)
+	for _, sess := range sessions {
+		n := len(sess.Tree.Nodes())
+		totalNodes += n
+		totalEvents += 2 * (n - 1) * sess.Packets
+	}
 	s := &concSim{
 		eng:    NewEngine(router.Network().NumChannels()),
 		p:      p,
@@ -152,8 +222,8 @@ func concurrentRun(router routing.Router, sessions []Session, p Params, disc ste
 		router: router,
 		wire:   p.WireTime(),
 		specs:  sessions,
-		nis:    map[int]*hostNI{},
-		routes: map[[2]int]routing.Route{},
+		nis:    make([]*hostNI, router.Network().NumHosts()),
+		routes: make(map[[2]int]routing.Route, totalNodes),
 		res: &ConcurrentResult{
 			Sessions:    make([]SessionResult, len(sessions)),
 			MaxBuffered: map[int]int{},
@@ -161,6 +231,8 @@ func concurrentRun(router routing.Router, sessions []Session, p Params, disc ste
 		faults: faults,
 	}
 	s.eng.SetFaults(faults)
+	s.eng.Grow(totalEvents)
+	defer s.eng.Recycle()
 	var events []TraceEvent
 	if traced {
 		s.trace = &events
@@ -172,11 +244,12 @@ func concurrentRun(router routing.Router, sessions []Session, p Params, disc ste
 		if sess.Start < 0 {
 			panic(fmt.Sprintf("sim: session %d starts at %f", si, sess.Start))
 		}
+		nodes := sess.Tree.Nodes()
 		s.res.Sessions[si] = SessionResult{
-			NIDone:   map[int]float64{},
-			HostDone: map[int]float64{},
+			NIDone:   make(map[int]float64, len(nodes)-1),
+			HostDone: make(map[int]float64, len(nodes)-1),
 		}
-		for _, v := range sess.Tree.Nodes() {
+		for _, v := range nodes {
 			ni := s.ni(v)
 			ni.sess[si] = &sessNode{
 				arrivals:   make([]float64, sess.Packets),
@@ -245,6 +318,9 @@ func concurrentRun(router routing.Router, sessions []Session, p Params, disc ste
 		s.res.Faults = faults.Stats
 	}
 	for v, ni := range s.nis {
+		if ni == nil {
+			continue
+		}
 		forwarder := false
 		for si, sess := range sessions {
 			if ni.sess[si] != nil && len(sess.Tree.Children(v)) > 0 && sess.Tree.Contains(v) {
@@ -259,9 +335,9 @@ func concurrentRun(router routing.Router, sessions []Session, p Params, disc ste
 }
 
 func (s *concSim) ni(h int) *hostNI {
-	ni, ok := s.nis[h]
-	if !ok {
-		ni = &hostNI{sess: map[int]*sessNode{}}
+	ni := s.nis[h]
+	if ni == nil {
+		ni = &hostNI{sess: make([]*sessNode, len(s.specs))}
 		s.nis[h] = ni
 	}
 	return ni
@@ -320,23 +396,17 @@ func (s *concSim) startOne(v int, ni *hostNI) {
 			Session: o.sess, Packet: o.packet, Wait: start - earliest,
 		})
 	}
-	sn := ni.sess[o.sess]
-	s.eng.At(start+s.wire, func() {
-		ni.inFlight--
-		sn.copiesLeft[o.packet]--
-		if sn.copiesLeft[o.packet] == 0 {
-			ni.buffered--
-		}
-		s.pump(v)
-	})
+	op := s.newSendOp()
+	op.ni, op.sn, op.op, op.v = ni, ni.sess[o.sess], o, v
 	// Fault plane: a transmission across a killed link, a sampled drop, or
 	// a sampled corruption (discarded by the receiving NI's checksum) never
 	// delivers. The sender still paid t_ns and the channel holds — loss is
 	// detected only by the absence of the packet, as on real fabrics.
-	if s.faults.RouteDead(route, start) || s.faults.SampleDrop() || s.faults.SampleCorrupt() {
-		return
+	op.delivers = !(s.faults.RouteDead(route, start) || s.faults.SampleDrop() || s.faults.SampleCorrupt())
+	s.eng.At(start+s.wire, op.completeFn)
+	if op.delivers {
+		s.eng.At(arrive+s.p.TNIRecv, op.deliverFn)
 	}
-	s.eng.At(arrive+s.p.TNIRecv, func() { s.deliver(o.sess, o.to, o.packet) })
 }
 
 func (s *concSim) deliver(si, dst, pkt int) {

@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// goldenEvents is a fixed synthetic trace touching several hosts out of
+// order, so any map-iteration-order leak in the renderers would show.
+func goldenEvents() []sim.TraceEvent {
+	return []sim.TraceEvent{
+		{Kind: "inject", Time: 12.5, Host: 9, Peer: 4, Session: 0, Packet: 0, Wait: 0},
+		{Kind: "inject", Time: 15.5, Host: 9, Peer: 2, Session: 0, Packet: 0, Wait: 1.25},
+		{Kind: "deliver", Time: 18.0, Host: 4, Peer: 9, Session: 0, Packet: 0},
+		{Kind: "inject", Time: 20.0, Host: 4, Peer: 7, Session: 0, Packet: 0, Wait: 0.75},
+		{Kind: "deliver", Time: 21.0, Host: 2, Peer: 9, Session: 0, Packet: 0},
+		{Kind: "deliver", Time: 24.5, Host: 7, Peer: 4, Session: 0, Packet: 0},
+		{Kind: "done", Time: 33.5, Host: 2, Peer: -1, Session: 0, Packet: -1},
+		{Kind: "done", Time: 37.0, Host: 7, Peer: -1, Session: 0, Packet: -1},
+		{Kind: "done", Time: 30.5, Host: 4, Peer: -1, Session: 0, Packet: -1},
+	}
+}
+
+// TestStatsGolden pins the aggregate report rendering byte for byte:
+// human-readable output must be sorted and stable so parallel-runner
+// artifacts diff clean against serial runs.
+func TestStatsGolden(t *testing.T) {
+	const want = `span: 12.5 .. 37.0 us, total channel wait 2.0 us
+  h4     1 injections (waited 0.8 us)
+  h9     2 injections (waited 1.2 us)
+`
+	for i := 0; i < 20; i++ {
+		got := Collect(goldenEvents()).String()
+		if got != want {
+			t.Fatalf("iteration %d: stats rendering diverged\ngot:\n%s\nwant:\n%s", i, got, want)
+		}
+	}
+}
+
+// TestTimelineGolden pins the per-host timeline lanes likewise.
+func TestTimelineGolden(t *testing.T) {
+	const want = `time 12.5 .. 37.0 us  (s=send r=recv D=done #=both)
+h2    .........r..............D....
+h4    ......r.s...........D........
+h7    .............r..............D
+h9    s..s.........................
+`
+	opts := TimelineOptions{Width: 29, Session: -1}
+	for i := 0; i < 20; i++ {
+		got := Timeline(goldenEvents(), opts)
+		if got != want {
+			t.Fatalf("iteration %d: timeline rendering diverged\ngot:\n%s\nwant:\n%s", i, got, want)
+		}
+	}
+}
