@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check staticcheck mcastcheck soak bench ci figures clean
+.PHONY: all build test race vet fmt check staticcheck mcastcheck soak bench ci figures clean live-race
 
 all: check
 
@@ -14,6 +14,14 @@ test:
 # from multiple goroutines; always run them under the race detector.
 race:
 	$(GO) test -race ./...
+
+# The live runtime is real concurrent code: its tests (and the check
+# harness's live-matches-sim differential bridge) MUST run under the race
+# detector. This target is explicit — and a required CI step — so the
+# -race coverage of internal/live cannot be silently skipped by package
+# caching or a filtered test run.
+live-race:
+	$(GO) test -race -count=1 ./internal/live/... ./internal/check
 
 vet:
 	$(GO) vet ./...
@@ -45,8 +53,12 @@ mcastcheck:
 # (failure detection, epoch fencing, adoption) — sharded over 4 workers
 # under the race detector, which also exercises the parallel runner's
 # synchronization. The report is byte-identical to a -workers 1 run.
+# The live-runtime soak (500 fixed-seed goroutine broadcasts, -race) rides
+# along: every run spins up and tears down its own NI fabric, so this
+# doubles as a goroutine-leak and shutdown-protocol stress.
 soak:
 	$(GO) run -race ./cmd/mcastcheck -n 2000 -seed 2 -workers 4
+	$(GO) test -race -run TestLiveSoak -count=1 ./internal/live
 
 # Bench: the tracked performance baseline. Runs the engine event-loop,
 # harness-throughput and reliable-delivery suites with -benchmem and
@@ -54,12 +66,12 @@ soak:
 # to read it). -benchtime is fixed in iterations so run-to-run JSON diffs
 # reflect perf drift, not iteration-count noise.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkEngine|BenchmarkCheckCases|BenchmarkReliable|BenchmarkEventSimMulticast' \
-		-benchmem -benchtime 200x ./internal/sim ./internal/check . \
+	$(GO) test -run '^$$' -bench 'BenchmarkEngine|BenchmarkCheckCases|BenchmarkReliable|BenchmarkEventSimMulticast|BenchmarkLive' \
+		-benchmem -benchtime 200x ./internal/sim ./internal/check ./internal/live . \
 		| $(GO) run ./cmd/benchjson -echo > BENCH_sim.json
 	@echo "wrote BENCH_sim.json"
 
-ci: check staticcheck mcastcheck
+ci: check staticcheck live-race mcastcheck
 
 figures:
 	$(GO) run ./cmd/figures -out figures

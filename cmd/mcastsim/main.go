@@ -5,7 +5,8 @@
 //
 //	mcastsim [-seed 1] [-dests 15] [-packets 8] [-tree optimal|binomial|linear|k]
 //	         [-k 3] [-ni fpfs|fcfs|conventional] [-model packet|flit]
-//	         [-wseed 7] [-verbose] [-timeline]
+//	         [-wseed 7] [-verbose] [-timeline] [-trace-json FILE]
+//	         [-live]
 //	         [-reliable] [-droprate 0.01] [-faults "kill:74@40,corrupt:0.01"] [-retries 8]
 //	         [-crash HOST@T] [-crash HOST@T@RT] [-quorum Q]
 //
@@ -28,6 +29,17 @@
 // heartbeat failure detector: the run prints every epoch-numbered group
 // view installed while the session reconfigured, and -quorum Q accepts a
 // partial delivery of at least Q destinations instead of failing.
+//
+// -live executes the plan for real instead of simulating it: one
+// goroutine per participating NI runs the FPFS discipline over channel
+// links (internal/live), real wire-format packets are reassembled and
+// verified at every destination, and the report puts the measured
+// wall-clock latency next to the simulator's prediction for the same
+// plan. Live runs support -ni fpfs -model packet without fault flags.
+//
+// -trace-json FILE writes the run's event trace (simulated, or live when
+// combined with -live) in Chrome trace-event format, viewable in
+// about://tracing or ui.perfetto.dev.
 package main
 
 import (
@@ -36,9 +48,11 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro"
 	"repro/internal/flitsim"
+	"repro/internal/live"
 	"repro/internal/message"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -55,6 +69,8 @@ func main() {
 	wseed := flag.Uint64("wseed", 7, "workload (destination set) seed")
 	verbose := flag.Bool("verbose", false, "print per-destination completion times")
 	timeline := flag.Bool("timeline", false, "print an ASCII per-host activity timeline")
+	traceJSON := flag.String("trace-json", "", "write the event trace to FILE in Chrome trace-event format")
+	liveRun := flag.Bool("live", false, "execute the multicast on the live goroutine runtime instead of simulating")
 	model := flag.String("model", "packet", "network model: packet (fast reservation) or flit (cycle-accurate wormhole)")
 	reliableRun := flag.Bool("reliable", false, "use the ACK/NACK reliable-delivery protocol (implied by any fault flag)")
 	droprate := flag.Float64("droprate", 0, "per-transmission packet loss probability [0,1)")
@@ -108,6 +124,20 @@ func main() {
 	}
 	plan := sys.Plan(spec)
 
+	if *liveRun {
+		if *ni != "fpfs" || *model != "packet" {
+			fmt.Fprintln(os.Stderr, "mcastsim: -live supports -ni fpfs -model packet only")
+			os.Exit(1)
+		}
+		if *reliableRun || *droprate > 0 || *faultSpec != "" || len(crashes) > 0 {
+			fmt.Fprintln(os.Stderr, "mcastsim: -live does not combine with fault flags (the live runtime has no fault plane)")
+			os.Exit(1)
+		}
+		fmt.Printf("system: %s (seed %d)\n", sys.Net.Summary(), *seed)
+		runLive(sys, plan, *wseed, *verbose, *traceJSON)
+		return
+	}
+
 	if *reliableRun || *droprate > 0 || *faultSpec != "" || len(crashes) > 0 {
 		if *ni != "fpfs" || *model != "packet" {
 			fmt.Fprintln(os.Stderr, "mcastsim: reliable delivery supports -ni fpfs -model packet only")
@@ -151,15 +181,93 @@ func main() {
 		fmt.Println("\nchain order: " + joinInts(plan.Chain))
 	}
 
-	if *timeline {
+	if *timeline || *traceJSON != "" {
 		_, events := sim.ConcurrentTraced(sys.Router,
 			[]sim.Session{{Tree: plan.Tree, Packets: spec.Packets}},
 			repro.DefaultParams(), disc, true)
-		fmt.Println()
-		fmt.Print(trace.Timeline(events, trace.TimelineOptions{Width: 100, Session: -1}))
-		fmt.Println()
-		fmt.Print(trace.Collect(events).String())
+		if *timeline {
+			fmt.Println()
+			fmt.Print(trace.Timeline(events, trace.TimelineOptions{Width: 100, Session: -1}))
+			fmt.Println()
+			fmt.Print(trace.Collect(events).String())
+		}
+		if *traceJSON != "" {
+			writeChromeTrace(*traceJSON, events)
+		}
 	}
+}
+
+// runLive executes the plan on the live goroutine runtime (internal/live)
+// with a deterministic payload of exactly the spec's packet count, and
+// reports the measured wall clock next to the simulator's prediction.
+func runLive(sys *repro.System, plan *repro.Plan, wseed uint64, verbose bool, traceJSON string) {
+	p := repro.DefaultParams()
+	payload := make([]byte, plan.Spec.Packets*(p.PacketBytes-message.HeaderSize))
+	prng := workload.NewRNG(wseed ^ 0x9e3779b97f4a7c15)
+	for i := range payload {
+		payload[i] = byte(prng.Uint64())
+	}
+	pkts, err := message.Packetize(1, plan.Spec.Source, payload, p.PacketBytes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcastsim: %v\n", err)
+		os.Exit(1)
+	}
+	res, err := live.Run(
+		[]live.Session{{Tree: plan.Tree, Packets: pkts, MsgID: 1}},
+		live.Config{BufferPackets: p.NIBufferPackets, Record: traceJSON != ""},
+	)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcastsim: live run: %v\n", err)
+		os.Exit(1)
+	}
+	pred := sys.Simulate(plan, p, repro.FPFS)
+
+	sr := res.Sessions[0]
+	exact := 0
+	for _, v := range plan.Tree.Nodes() {
+		if v == plan.Tree.Root() {
+			continue
+		}
+		if rec := sr.Hosts[v]; rec != nil && string(rec.Data) == string(payload) {
+			exact++
+		}
+	}
+	fmt.Printf("spec:   source h%d, %d destinations, %d packets (%d payload bytes), %s tree, live FPFS\n",
+		plan.Spec.Source, len(plan.Spec.Dests), len(pkts), len(payload), plan.Spec.Policy)
+	fmt.Printf("plan:   k=%d, tree depth=%d, root degree=%d\n",
+		plan.K, plan.Tree.Depth(), plan.Tree.RootDegree())
+	fmt.Printf("result: wall latency %v, %d sends; simulator predicts %.1f us for this plan\n",
+		sr.Latency.Round(time.Microsecond), res.Sends, pred.Latency)
+	fmt.Printf("        %d of %d destinations reassembled the message byte-exactly\n",
+		exact, len(plan.Spec.Dests))
+	if exact != len(plan.Spec.Dests) {
+		fmt.Fprintln(os.Stderr, "mcastsim: live delivery fell short")
+		os.Exit(1)
+	}
+	if verbose {
+		fmt.Println("\nper-destination completion (wall clock):")
+		for _, d := range plan.Chain[1:] {
+			fmt.Printf("  h%-3d %10v\n", d, sr.Hosts[d].DoneAt.Round(time.Microsecond))
+		}
+	}
+	if traceJSON != "" {
+		writeChromeTrace(traceJSON, res.Events)
+	}
+}
+
+// writeChromeTrace renders events as Chrome trace-event JSON at path.
+func writeChromeTrace(path string, events []sim.TraceEvent) {
+	raw, err := trace.ChromeJSON(events)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcastsim: -trace-json: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "mcastsim: -trace-json: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("trace:  %d events written to %s (open in about://tracing or ui.perfetto.dev)\n",
+		len(events), path)
 }
 
 // crashFlags collects repeatable -crash directives.

@@ -52,6 +52,7 @@ var Invariants = []Invariant{
 	{"crash-no-posthumous-delivery", "a crash-stopped host is never recorded as completing after its crash instant", checkCrashNoPosthumousDelivery},
 	{"crash-epoch-monotone", "accepted packets carry nondecreasing epochs and installed views advance the epoch strictly", checkCrashEpochMonotone},
 	{"crash-survivor-bytes", "every surviving destination is delivered byte-exactly despite crashes, recoveries, and loss", checkCrashSurvivorBytes},
+	{"live-matches-sim", "the goroutine live runtime reproduces the FPFS step schedule's structure exactly: per-host delivery order, parent edges, and send/receive counts", checkLiveMatchesSim},
 }
 
 // InvariantByID returns the catalogue entry with the given ID.

@@ -1,0 +1,135 @@
+package check
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/live"
+	"repro/internal/message"
+	"repro/internal/stepsim"
+	"repro/internal/workload"
+)
+
+// livePacketBytes is the wire packet size of the live differential arm:
+// with 64-byte packets each carries 44 payload bytes, so a payload of
+// m*44 bytes packetizes to exactly the instance's m timing packets.
+const livePacketBytes = 64
+
+// liveTimeout bounds the live run inside the harness. A single tree
+// cannot deadlock under FPFS backpressure, so expiry means a runtime
+// bug; the bound keeps a buggy build from hanging the whole sweep.
+const liveTimeout = 30 * time.Second
+
+// liveConfig derives the deterministic runtime configuration of an
+// instance. The buffer bound cycles through 1, 2, 3 and unbounded on the
+// fault seed, so the sweep exercises blocking admission (tight bounds)
+// and the free-running path in one catalogue.
+func (in Instance) liveConfig() live.Config {
+	return live.Config{
+		BufferPackets: int(in.FaultSeed % 4), // 0 = unbounded, else 1..3 slots
+		Timeout:       liveTimeout,
+	}
+}
+
+// livePayload builds the deterministic payload whose packetization is
+// exactly m wire packets.
+func (in Instance) livePayload() []byte {
+	rng := workload.NewRNG(in.FaultSeed ^ 0x11fe_ca57)
+	b := make([]byte, in.Packets*(livePacketBytes-message.HeaderSize))
+	for i := range b {
+		b[i] = byte(rng.Uint64())
+	}
+	return b
+}
+
+// checkLiveMatchesSim is the differential bridge into the live runtime:
+// it executes the instance's plan on real goroutine NIs over channel
+// links and asserts that the concurrent run reproduces the FPFS step
+// schedule's structure exactly — per-host packet delivery order, the
+// parent→child edges used, and per-host send/receive counts. The live
+// fabric dedicates a link to every tree edge, so like the Fig.-11
+// construction it is contention-free by design and the step schedule's
+// order is the ground truth on every instance. Wall-clock timing is
+// deliberately not compared (see DESIGN.md §11).
+func checkLiveMatchesSim(w *world) error {
+	m := w.m
+	payload := w.inst.livePayload()
+	pkts, err := message.Packetize(1, w.plan.Spec.Source, payload, livePacketBytes)
+	if err != nil {
+		return fmt.Errorf("packetize: %v", err)
+	}
+	if len(pkts) != m {
+		return fmt.Errorf("payload packetized to %d packets, want the instance's m=%d", len(pkts), m)
+	}
+	res, err := live.Run([]live.Session{{Tree: w.plan.Tree, Packets: pkts, MsgID: 1}}, w.inst.liveConfig())
+	if err != nil {
+		return fmt.Errorf("live run failed: %v", err)
+	}
+	sched := stepsim.Run(w.plan.Tree, m, stepsim.FPFS)
+	lr := res.Sessions[0]
+
+	// Send/receive counts: exact, per host and in total.
+	if res.Sends != (w.n-1)*m {
+		return fmt.Errorf("live injected %d copies, want (n-1)*m = %d", res.Sends, (w.n-1)*m)
+	}
+	wantSends := map[int]int{}
+	for _, s := range sched.Sends {
+		wantSends[s.From]++
+	}
+	hosts := make([]int, 0, len(lr.Hosts))
+	for v := range lr.Hosts {
+		hosts = append(hosts, v)
+	}
+	sort.Ints(hosts)
+	root := w.plan.Tree.Root()
+	for _, v := range hosts {
+		rec := lr.Hosts[v]
+		if rec.Sends != wantSends[v] {
+			return fmt.Errorf("host %d injected %d copies, step schedule says %d", v, rec.Sends, wantSends[v])
+		}
+		if v == root {
+			if rec.Recvs != 0 || len(rec.Arrivals) != 0 {
+				return fmt.Errorf("root %d recorded %d receipts", root, rec.Recvs)
+			}
+			continue
+		}
+		if rec.Recvs != m {
+			return fmt.Errorf("host %d admitted %d packets, want m=%d", v, rec.Recvs, m)
+		}
+
+		// Delivery order: the live admission sequence must equal the step
+		// schedule's arrival order at this host (arrivals from a serial
+		// parent occupy distinct steps, so the order is total), and every
+		// arrival must ride the planned parent edge.
+		order := make([]int, m)
+		for j := range order {
+			order[j] = j
+		}
+		arr := sched.Arrival[v]
+		sort.SliceStable(order, func(a, b int) bool { return arr[order[a]] < arr[order[b]] })
+		parent, _ := w.plan.Tree.Parent(v)
+		for i, a := range rec.Arrivals {
+			if a.Packet != order[i] {
+				return fmt.Errorf("host %d arrival %d is packet %d, step schedule orders packet %d (full order %v)",
+					v, i, a.Packet, order[i], order)
+			}
+			if a.From != parent {
+				return fmt.Errorf("host %d received packet %d from %d, planned parent is %d", v, a.Packet, a.From, parent)
+			}
+		}
+
+		// Payload plane: byte-exact reassembly and a completion ACK.
+		if !bytes.Equal(rec.Data, payload) {
+			return fmt.Errorf("host %d reassembled %d bytes, want the %d-byte payload", v, len(rec.Data), len(payload))
+		}
+		if rec.DoneAt <= 0 {
+			return fmt.Errorf("host %d has no completion ACK timestamp", v)
+		}
+	}
+	if lr.Latency <= 0 || res.Wall < lr.Latency {
+		return fmt.Errorf("live wall clock inconsistent: session latency %v, wall %v", lr.Latency, res.Wall)
+	}
+	return nil
+}

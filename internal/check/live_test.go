@@ -1,0 +1,50 @@
+package check
+
+import (
+	"testing"
+)
+
+// TestLiveInvariant250Cases is the differential acceptance gate for the
+// live runtime: 250 seeded harness instances, each executed on real
+// goroutine NIs and compared structurally against the FPFS step schedule
+// (delivery order, parent edges, send/receive counts). CI runs the check
+// package under -race, so this doubles as a concurrency validator.
+func TestLiveInvariant250Cases(t *testing.T) {
+	inv, ok := InvariantByID("live-matches-sim")
+	if !ok {
+		t.Fatal("live-matches-sim invariant not registered")
+	}
+	const cases = 250
+	failed := 0
+	for c := 0; c < cases; c++ {
+		inst := Generate(3, c)
+		w, err := safeBuild(inst)
+		if err != nil {
+			t.Fatalf("case %d: build: %v", c, err)
+		}
+		if err := safeCheck(inv, w); err != nil {
+			failed++
+			t.Errorf("case %d (replay: mcastcheck -seed 3 -case %d): %v", c, c, err)
+			if failed >= 5 {
+				t.Fatal("stopping after 5 differential failures")
+			}
+		}
+	}
+}
+
+// TestLiveInvariantConfigSpread pins the deterministic config derivation:
+// the sweep must exercise both bounded and unbounded buffers.
+func TestLiveInvariantConfigSpread(t *testing.T) {
+	bounded, unbounded := 0, 0
+	for c := 0; c < 64; c++ {
+		cfg := Generate(3, c).liveConfig()
+		if cfg.BufferPackets == 0 {
+			unbounded++
+		} else {
+			bounded++
+		}
+	}
+	if bounded == 0 || unbounded == 0 {
+		t.Fatalf("config derivation is degenerate: %d bounded / %d unbounded", bounded, unbounded)
+	}
+}

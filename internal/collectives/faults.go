@@ -1,0 +1,123 @@
+package collectives
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stepsim"
+)
+
+// LossError is the typed failure of a collective run under a lossy fault
+// plan: this engine does not retransmit (package reliable does), so lost
+// or corruption-rejected packets starve hosts, and the error says exactly
+// which and by how much. The accompanying *Result is still returned — the
+// run completed, the delivery did not.
+type LossError struct {
+	// Op names the collective ("scatter", "gather", "reduce").
+	Op string
+	// Missing maps each starved host to its missing packet count (for
+	// reduce: packets whose contributions never fully combined there).
+	Missing map[int]int
+}
+
+func (e *LossError) Error() string {
+	hosts := make([]int, 0, len(e.Missing))
+	total := 0
+	for h, c := range e.Missing {
+		hosts = append(hosts, h)
+		total += c
+	}
+	sort.Ints(hosts)
+	return fmt.Sprintf("collectives: %s starved %d host(s) of %d packet(s) total (hosts %v)",
+		e.Op, len(hosts), total, hosts)
+}
+
+// mergeIncomplete folds the per-session starvation maps of a concurrent
+// faulty run into one host -> missing-packets map.
+func mergeIncomplete(incomplete []map[int]int) map[int]int {
+	if incomplete == nil {
+		return nil
+	}
+	missing := map[int]int{}
+	for _, sess := range incomplete {
+		for v, short := range sess {
+			missing[v] += short
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	return missing
+}
+
+// ScatterFaulty runs Scatter under the given fault plan. On a lossless
+// outcome the error is nil and the result matches Scatter's contract; when
+// loss starved any destination the error is a *LossError naming the
+// shortfall, alongside the run's result (timing, sends, fault counters).
+func ScatterFaulty(sys *core.System, spec core.Spec, p sim.Params, fp sim.FaultPlan) (*Result, error) {
+	plan := sys.Plan(spec)
+	sessions := make([]sim.Session, 0, len(spec.Dests))
+	for _, d := range spec.Dests {
+		sessions = append(sessions, sim.Session{
+			Tree:    pathTree(plan.Tree, d),
+			Packets: spec.Packets,
+		})
+	}
+	return faultyConcurrent("scatter", sys, sessions, p, fp, plan.K)
+}
+
+// GatherFaulty runs Gather under the given fault plan, with the same
+// result/error contract as ScatterFaulty.
+func GatherFaulty(sys *core.System, spec core.Spec, p sim.Params, fp sim.FaultPlan) (*Result, error) {
+	plan := sys.Plan(spec)
+	sessions := make([]sim.Session, 0, len(spec.Dests))
+	for _, d := range spec.Dests {
+		up := pathTree(plan.Tree, d)
+		sessions = append(sessions, sim.Session{
+			Tree:    reverseChainTree(up),
+			Packets: spec.Packets,
+		})
+	}
+	return faultyConcurrent("gather", sys, sessions, p, fp, plan.K)
+}
+
+// faultyConcurrent prices the sessions on the faulty concurrent engine and
+// converts starvation into the typed error.
+func faultyConcurrent(op string, sys *core.System, sessions []sim.Session, p sim.Params, fp sim.FaultPlan, k int) (*Result, error) {
+	res, err := sim.ConcurrentFaulty(sys.Router, sessions, p, stepsim.FPFS, fp)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		Latency:     res.Makespan,
+		Sends:       res.Sends,
+		ChannelWait: res.ChannelWait,
+		K:           k,
+		Faults:      res.Faults,
+	}
+	if missing := mergeIncomplete(res.Incomplete); missing != nil {
+		return out, &LossError{Op: op, Missing: missing}
+	}
+	return out, nil
+}
+
+// ReduceFaulty runs Reduce under the given fault plan: lost or
+// corruption-rejected contributions starve their parent's combine (no
+// retransmission), so an incomplete reduction returns a *LossError naming
+// the hosts whose combines never finished, alongside the run's result.
+func ReduceFaulty(sys *core.System, spec core.Spec, rp ReduceParams, fp sim.FaultPlan) (*Result, error) {
+	if err := fp.Validate(); err != nil {
+		return nil, err
+	}
+	fs, err := fp.Arm()
+	if err != nil {
+		return nil, err
+	}
+	res, missing := reduceRun(sys, spec, rp, fs)
+	if len(missing) > 0 {
+		return res, &LossError{Op: "reduce", Missing: missing}
+	}
+	return res, nil
+}

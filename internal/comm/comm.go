@@ -14,9 +14,12 @@ package comm
 import (
 	"bytes"
 	"fmt"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/collectives"
 	"repro/internal/core"
+	"repro/internal/live"
 	"repro/internal/membership"
 	"repro/internal/message"
 	"repro/internal/reliable"
@@ -26,12 +29,22 @@ import (
 )
 
 // Group is a fixed set of communicating hosts addressed by rank.
+//
+// Concurrency: a Group is safe for concurrent collective calls. Session
+// IDs come from an atomic counter, and every other field (hosts, the
+// rank map, the planner tables) is written only inside New and read-only
+// afterwards. Concurrent operations on one group get distinct message
+// IDs and therefore distinct, non-interfering sessions.
 type Group struct {
 	sys   *core.System
 	hosts []int
-	rank  map[int]int // host -> rank
-	msgID uint32
+	rank  map[int]int // host -> rank; populated in New, immutable after
+	msgID atomic.Uint32
 }
+
+// nextMsgID allocates a fresh session/message ID. IDs start at 1 so a
+// zero MsgID always means "unset".
+func (g *Group) nextMsgID() uint32 { return g.msgID.Add(1) }
 
 // New creates a group over the given hosts (rank i = hosts[i]). Hosts
 // must be distinct and valid for the system.
@@ -93,8 +106,8 @@ func (g *Group) Bcast(root int, data []byte, p sim.Params) (*BcastResult, error)
 	if root < 0 || root >= len(g.hosts) {
 		return nil, fmt.Errorf("comm: root rank %d out of range", root)
 	}
-	g.msgID++
-	pkts, err := message.Packetize(g.msgID, g.hosts[root], data, p.PacketBytes)
+	id := g.nextMsgID()
+	pkts, err := message.Packetize(id, g.hosts[root], data, p.PacketBytes)
 	if err != nil {
 		return nil, err
 	}
@@ -130,6 +143,96 @@ func (g *Group) Bcast(root int, data []byte, p sim.Params) (*BcastResult, error)
 			return nil, fmt.Errorf("comm: rank %d payload corrupted", i)
 		}
 		out.Data[i] = got
+	}
+	return out, nil
+}
+
+// BcastLiveResult is the outcome of a live broadcast: real reassembled
+// bytes from real concurrent execution, plus the simulator's predicted
+// latency for the same plan so callers can put the wall clock next to
+// the model.
+type BcastLiveResult struct {
+	// Data holds, per rank, the delivered message, reassembled and
+	// checksum-verified by that rank's NI goroutine (the root's slot
+	// aliases the input).
+	Data [][]byte
+	// WallLatency is the measured wall-clock time from injection start to
+	// the last destination's completion ACK.
+	WallLatency time.Duration
+	// PredictedLatency is the event simulator's latency for the same plan,
+	// in microseconds (the model the live run is differentially checked
+	// against — structure matches; wall-clock time is not comparable).
+	PredictedLatency float64
+	// Packets is the message length in wire packets; K the tree fanout;
+	// Sends the packet copies actually injected, (n-1)*Packets.
+	Packets int
+	K       int
+	Sends   int
+	// Live is the runtime's per-host detail (arrival order, per-host
+	// send/receive counts, completion instants).
+	Live *live.SessionResult
+}
+
+// BcastLive broadcasts data from the root rank by actually executing the
+// planned FPFS multicast on the live runtime: one goroutine per
+// participating NI, channel links along the tree edges, and — when
+// p.NIBufferPackets > 0 — blocking admission against that buffer bound.
+// The returned payloads are what each destination's NI reassembled, not
+// an echo of the input. Groups are safe for concurrent BcastLive calls;
+// each call runs on its own fabric.
+func (g *Group) BcastLive(root int, data []byte, p sim.Params) (*BcastLiveResult, error) {
+	if root < 0 || root >= len(g.hosts) {
+		return nil, fmt.Errorf("comm: root rank %d out of range", root)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("comm: params: %w", err)
+	}
+	id := g.nextMsgID()
+	pkts, err := message.Packetize(id, g.hosts[root], data, p.PacketBytes)
+	if err != nil {
+		return nil, err
+	}
+	dests := make([]int, 0, len(g.hosts)-1)
+	for i, h := range g.hosts {
+		if i != root {
+			dests = append(dests, h)
+		}
+	}
+	spec := core.Spec{Source: g.hosts[root], Dests: dests, Packets: len(pkts), Policy: core.OptimalTree}
+	plan := g.sys.Plan(spec)
+
+	res, err := live.Run(
+		[]live.Session{{Tree: plan.Tree, Packets: pkts, MsgID: id}},
+		live.Config{BufferPackets: p.NIBufferPackets},
+	)
+	if err != nil {
+		return nil, fmt.Errorf("comm: live broadcast: %w", err)
+	}
+	pred := g.sys.Simulate(plan, p, stepsim.FPFS)
+
+	sr := res.Sessions[0]
+	out := &BcastLiveResult{
+		Data:             make([][]byte, len(g.hosts)),
+		WallLatency:      sr.Latency,
+		PredictedLatency: pred.Latency,
+		Packets:          len(pkts),
+		K:                plan.K,
+		Sends:            res.Sends,
+		Live:             &sr,
+	}
+	out.Data[root] = data
+	for i, h := range g.hosts {
+		if i == root {
+			continue
+		}
+		rec := sr.Hosts[h]
+		if rec == nil || rec.Data == nil {
+			return nil, fmt.Errorf("comm: rank %d delivered nothing", i)
+		}
+		if !bytes.Equal(rec.Data, data) {
+			return nil, fmt.Errorf("comm: rank %d payload corrupted", i)
+		}
+		out.Data[i] = rec.Data
 	}
 	return out, nil
 }
@@ -170,8 +273,7 @@ func (g *Group) BcastReliable(root int, data []byte, cfg reliable.Config, fp sim
 	if root < 0 || root >= len(g.hosts) {
 		return nil, fmt.Errorf("comm: root rank %d out of range", root)
 	}
-	g.msgID++
-	cfg.MsgID = g.msgID
+	cfg.MsgID = g.nextMsgID()
 	dests := make([]int, 0, len(g.hosts)-1)
 	for i, h := range g.hosts {
 		if i != root {
@@ -249,8 +351,7 @@ func (g *Group) Scatter(root int, chunks [][]byte, p sim.Params) (*ScatterResult
 		if i == root {
 			continue
 		}
-		g.msgID++
-		pkts, err := message.Packetize(g.msgID, g.hosts[root], chunk, p.PacketBytes)
+		pkts, err := message.Packetize(g.nextMsgID(), g.hosts[root], chunk, p.PacketBytes)
 		if err != nil {
 			return nil, err
 		}

@@ -2,6 +2,7 @@ package comm
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -161,8 +162,80 @@ func TestBcastMsgIDsAdvance(t *testing.T) {
 	if a == nil || b == nil {
 		t.Fatal("broadcast failed")
 	}
-	if g.msgID != 2 {
-		t.Errorf("msgID = %d, want 2", g.msgID)
+	if got := g.msgID.Load(); got != 2 {
+		t.Errorf("msgID = %d, want 2", got)
+	}
+}
+
+func TestBcastLiveDeliversExactly(t *testing.T) {
+	sys := testSys()
+	g, err := New(sys, []int{0, 3, 7, 11, 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 777)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	for _, buf := range []int{0, 1} {
+		p := sim.DefaultParams()
+		p.NIBufferPackets = buf
+		res, err := g.BcastLive(1, payload, p)
+		if err != nil {
+			t.Fatalf("BcastLive (buffer %d): %v", buf, err)
+		}
+		for r := range res.Data {
+			if !bytes.Equal(res.Data[r], payload) {
+				t.Errorf("buffer %d: rank %d got %d bytes, want %d", buf, r, len(res.Data[r]), len(payload))
+			}
+		}
+		if res.WallLatency <= 0 {
+			t.Errorf("buffer %d: non-positive wall latency %v", buf, res.WallLatency)
+		}
+		if res.PredictedLatency <= 0 {
+			t.Errorf("buffer %d: non-positive predicted latency", buf)
+		}
+		if want := (g.Size() - 1) * res.Packets; res.Sends != want {
+			t.Errorf("buffer %d: %d sends, want %d", buf, res.Sends, want)
+		}
+		if res.Live == nil || len(res.Live.Hosts) != g.Size() {
+			t.Errorf("buffer %d: live detail missing", buf)
+		}
+	}
+}
+
+// TestConcurrentBcastLive exercises the documented concurrency contract:
+// one group, many goroutines broadcasting live at once. Run with -race.
+func TestConcurrentBcastLive(t *testing.T) {
+	sys := testSys()
+	g, err := New(sys, []int{0, 2, 5, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			payload := bytes.Repeat([]byte{byte(w + 1)}, 200+w)
+			res, err := g.BcastLive(w%g.Size(), payload, sim.DefaultParams())
+			if err == nil {
+				for _, d := range res.Data {
+					if !bytes.Equal(d, payload) {
+						err = fmt.Errorf("worker %d: payload mismatch", w)
+						break
+					}
+				}
+			}
+			errs <- err
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := g.msgID.Load(); got != workers {
+		t.Errorf("msgID = %d after %d concurrent broadcasts", got, workers)
 	}
 }
 

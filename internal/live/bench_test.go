@@ -1,0 +1,75 @@
+package live
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/message"
+)
+
+// benchSession plans a broadcast to dests destinations on a 64-host cube
+// and packetizes a payload of packets wire packets.
+func benchSession(b *testing.B, dests, packets int) Session {
+	b.Helper()
+	sys := core.NewCubeSystem(2, 6)
+	hosts := make([]int, dests)
+	for i := range hosts {
+		hosts[i] = i + 1
+	}
+	plan := sys.Plan(core.Spec{Source: 0, Dests: hosts, Packets: packets, Policy: core.OptimalTree})
+	payload := make([]byte, packets*(64-message.HeaderSize))
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	pkts, err := message.Packetize(1, 0, payload, 64)
+	if err != nil {
+		b.Fatalf("Packetize: %v", err)
+	}
+	return Session{Tree: plan.Tree, Packets: pkts, MsgID: 1}
+}
+
+func benchLive(b *testing.B, dests, packets, buffer int) {
+	s := benchSession(b, dests, packets)
+	cfg := Config{BufferPackets: buffer, Timeout: time.Minute}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run([]Session{s}, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLiveBcast16x8(b *testing.B)        { benchLive(b, 16, 8, 0) }
+func BenchmarkLiveBcast16x8Bounded(b *testing.B) { benchLive(b, 16, 8, 1) }
+func BenchmarkLiveBcast63x32(b *testing.B)       { benchLive(b, 63, 32, 0) }
+
+func BenchmarkLiveConcurrent4Sessions(b *testing.B) {
+	sys := core.NewCubeSystem(2, 6)
+	sessions := make([]Session, 4)
+	for si := range sessions {
+		src := si * 16
+		var hosts []int
+		for i := 0; i < 64; i++ {
+			if i != src {
+				hosts = append(hosts, i)
+			}
+		}
+		plan := sys.Plan(core.Spec{Source: src, Dests: hosts, Packets: 4, Policy: core.OptimalTree})
+		payload := make([]byte, 4*(64-message.HeaderSize))
+		pkts, err := message.Packetize(uint32(si+1), src, payload, 64)
+		if err != nil {
+			b.Fatalf("Packetize: %v", err)
+		}
+		sessions[si] = Session{Tree: plan.Tree, Packets: pkts, MsgID: uint32(si + 1)}
+	}
+	cfg := Config{Timeout: time.Minute}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(sessions, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,370 @@
+// Package live executes multicasts for real: each participating host's
+// network interface is a goroutine running the paper's FPFS discipline —
+// forward every packet to every child the moment it arrives — over
+// channel-based links, with a bounded per-NI packet buffer enforcing
+// sender-side backpressure (admission reservation, mirroring
+// sim.Params.NIBufferPackets). Packets are the wire format of
+// internal/message; trees are the Fig.-11 k-binomial plans of
+// internal/core; destinations reassemble, verify, and acknowledge, and
+// the runtime reports per-host delivery order, send/receive counts, and
+// wall-clock latency.
+//
+// Where the simulators (sim, stepsim, flitsim) price a multicast on a
+// virtual clock, this package is a second execution backend on the real
+// one. The two are differentially checked: internal/check's
+// live-matches-sim invariant asserts that the live runtime's delivery
+// order and send/receive counts reproduce the step schedule's structure
+// exactly (see DESIGN.md §11 for what that does and does not say about
+// timing).
+//
+// Sessions multiplex over shared NIs: one forwarding loop per host
+// serves every session's arrivals in order (the P³FA-style unified
+// engine). With bounded buffers, overlapping sessions can form
+// store-and-forward credit cycles and deadlock — single trees cannot
+// (every blocked-send chain ends at a draining leaf) — so the runtime
+// wraps every run in a watchdog that aborts cleanly instead of hanging.
+package live
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/live/link"
+	"repro/internal/message"
+	"repro/internal/sim"
+	"repro/internal/tree"
+)
+
+// Config tunes one runtime run.
+type Config struct {
+	// BufferPackets bounds the packets an NI may hold (in its inbox and in
+	// service) across all sessions; senders block while a target NI is
+	// full. Zero means unbounded, mirroring sim.Params.NIBufferPackets.
+	BufferPackets int
+	// LinkLatency is the one-way delivery delay shaped onto every link
+	// (0 = unshaped; the differential bridge runs unshaped).
+	LinkLatency time.Duration
+	// Record enables trace-event capture (wall-clock microseconds since
+	// run start, rendered by internal/trace like simulator traces).
+	Record bool
+	// Timeout arms the watchdog; on expiry the run aborts and reports the
+	// destinations still missing. Zero selects DefaultTimeout.
+	Timeout time.Duration
+}
+
+// DefaultTimeout is the watchdog bound when Config.Timeout is zero.
+const DefaultTimeout = 30 * time.Second
+
+// Session is one multicast operation: a planned tree over host IDs and
+// the message's wire-format packets (message.Packetize output).
+type Session struct {
+	Tree    *tree.Tree
+	Packets [][]byte
+	// MsgID keys the session at shared NIs; it must match the packets'
+	// headers and be unique within one Run.
+	MsgID uint32
+}
+
+// validate rejects malformed sessions before any goroutine starts.
+func (s Session) validate(i int) error {
+	if s.Tree == nil || s.Tree.Size() < 2 {
+		return fmt.Errorf("live: session %d: tree needs >= 2 nodes", i)
+	}
+	if len(s.Packets) == 0 {
+		return fmt.Errorf("live: session %d: no packets", i)
+	}
+	if len(s.Packets) > 0xFFFF {
+		return fmt.Errorf("live: session %d: %d packets exceed sequence space", i, len(s.Packets))
+	}
+	for j, pkt := range s.Packets {
+		h, err := message.DecodeHeader(pkt)
+		if err != nil {
+			return fmt.Errorf("live: session %d packet %d: %v", i, j, err)
+		}
+		if h.MsgID != s.MsgID {
+			return fmt.Errorf("live: session %d packet %d: header msgID %d != session msgID %d",
+				i, j, h.MsgID, s.MsgID)
+		}
+		if int(h.Seq) != j || int(h.Total) != len(s.Packets) {
+			return fmt.Errorf("live: session %d packet %d: header seq %d/%d out of order",
+				i, j, h.Seq, h.Total)
+		}
+	}
+	return nil
+}
+
+// Arrival is one packet admission at an NI, in admission order.
+type Arrival struct {
+	Packet int // 0-based packet index
+	From   int // sending host — the tree edge used
+}
+
+// HostRecord is one host's view of one session.
+type HostRecord struct {
+	Host int
+	// Arrivals is the packet admission sequence (empty for the root).
+	Arrivals []Arrival
+	// Sends and Recvs count packet copies injected and admitted by this
+	// host for this session.
+	Sends, Recvs int
+	// Data is the reassembled, checksum-verified message (nil for the
+	// root, which owns the original).
+	Data []byte
+	// DoneAt is the wall-clock completion instant (last packet served and
+	// the completion ACK emitted), measured from run start. Zero for the
+	// root and for intermediates that are not destinations of the message
+	// (every non-root tree node is a destination here).
+	DoneAt time.Duration
+}
+
+// SessionResult reports one session of a run.
+type SessionResult struct {
+	MsgID uint32
+	// Latency is run start to the last destination's completion ACK.
+	Latency time.Duration
+	// Hosts holds a record per tree node.
+	Hosts map[int]*HostRecord
+}
+
+// Result is the outcome of one Run.
+type Result struct {
+	Sessions []SessionResult
+	// Wall is run start to the final ACK across all sessions.
+	Wall time.Duration
+	// Sends is the total packet copies injected.
+	Sends int
+	// Events is the wall-clock trace when Config.Record is set, sorted by
+	// time: inject/deliver/done records shaped like the simulator's so
+	// trace.Timeline and trace.ChromeJSON render both.
+	Events []sim.TraceEvent
+}
+
+// WatchdogError reports a run the watchdog had to abort: the sessions
+// and destinations still incomplete when the timeout fired. A single
+// tree cannot deadlock under FPFS backpressure, so on one session this
+// means a genuine runtime bug; with overlapping bounded-buffer sessions
+// it may be the documented store-and-forward credit cycle.
+type WatchdogError struct {
+	Timeout time.Duration
+	// Missing is, per session index, the destination hosts that had not
+	// acknowledged, ascending.
+	Missing map[int][]int
+}
+
+func (e *WatchdogError) Error() string {
+	total := 0
+	for _, hs := range e.Missing {
+		total += len(hs)
+	}
+	return fmt.Sprintf("live: watchdog after %v: %d destination(s) incomplete %v",
+		e.Timeout, total, e.Missing)
+}
+
+// ack is one destination's completion report.
+type ack struct {
+	sess int
+	host int
+	at   time.Duration
+	data []byte
+}
+
+// runtime is the shared state of one Run.
+type runtime struct {
+	cfg      Config
+	sessions []Session
+	start    time.Time
+	abort    chan struct{}
+	acks     chan ack
+	fail     chan error // first NI-level failure (capacity 1)
+}
+
+// since returns the wall-clock offset from run start in microseconds,
+// the simulator's trace unit.
+func (rt *runtime) since() float64 {
+	return float64(time.Since(rt.start)) / float64(time.Microsecond)
+}
+
+// Run executes the sessions concurrently over one set of per-host NI
+// goroutines and blocks until every destination of every session has
+// acknowledged its fully reassembled message, or the watchdog fires.
+func Run(sessions []Session, cfg Config) (*Result, error) {
+	if len(sessions) == 0 {
+		return nil, fmt.Errorf("live: no sessions")
+	}
+	if cfg.BufferPackets < 0 {
+		return nil, fmt.Errorf("live: negative buffer bound %d", cfg.BufferPackets)
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = DefaultTimeout
+	}
+	seen := map[uint32]bool{}
+	totalDests := 0
+	for i, s := range sessions {
+		if err := s.validate(i); err != nil {
+			return nil, err
+		}
+		if seen[s.MsgID] {
+			return nil, fmt.Errorf("live: duplicate session msgID %d", s.MsgID)
+		}
+		seen[s.MsgID] = true
+		totalDests += s.Tree.Size() - 1
+	}
+
+	rt := &runtime{
+		cfg:      cfg,
+		sessions: sessions,
+		abort:    make(chan struct{}),
+		acks:     make(chan ack, totalDests),
+		fail:     make(chan error, 1),
+	}
+	nis := buildFabric(rt)
+
+	rt.start = time.Now()
+	wg := startAll(rt, nis)
+
+	// Collect completion ACKs under the watchdog.
+	timer := time.NewTimer(cfg.Timeout)
+	defer timer.Stop()
+	got := make([]map[int]ack, len(sessions))
+	for i := range got {
+		got[i] = map[int]ack{}
+	}
+	var runErr error
+	for n := 0; n < totalDests; n++ {
+		select {
+		case a := <-rt.acks:
+			got[a.sess][a.host] = a
+			continue
+		case err := <-rt.fail:
+			runErr = err
+		case <-timer.C:
+			runErr = watchdogError(rt, got)
+		}
+		break
+	}
+	wall := time.Since(rt.start)
+
+	if runErr != nil {
+		close(rt.abort)
+		wg.Wait()
+		return nil, runErr
+	}
+	// Every destination has acknowledged, which implies every injected
+	// copy was admitted; all NIs are idle, so closing the inboxes is the
+	// clean shutdown signal.
+	for _, ni := range nis {
+		ni.inbox.Close()
+	}
+	wg.Wait()
+	select {
+	case err := <-rt.fail: // a failure that raced the final ack
+		return nil, err
+	default:
+	}
+	return assemble(rt, nis, got, wall), nil
+}
+
+// watchdogError snapshots the incomplete destinations at timeout.
+func watchdogError(rt *runtime, got []map[int]ack) *WatchdogError {
+	e := &WatchdogError{Timeout: rt.cfg.Timeout, Missing: map[int][]int{}}
+	for si, s := range rt.sessions {
+		for _, v := range s.Tree.Nodes() {
+			if v == s.Tree.Root() {
+				continue
+			}
+			if _, ok := got[si][v]; !ok {
+				e.Missing[si] = append(e.Missing[si], v)
+			}
+		}
+		sort.Ints(e.Missing[si])
+	}
+	return e
+}
+
+// assemble folds the per-goroutine records into the public result.
+func assemble(rt *runtime, nis map[int]*ni, got []map[int]ack, wall time.Duration) *Result {
+	res := &Result{
+		Sessions: make([]SessionResult, len(rt.sessions)),
+		Wall:     wall,
+	}
+	for si, s := range rt.sessions {
+		sr := SessionResult{MsgID: s.MsgID, Hosts: map[int]*HostRecord{}}
+		for _, v := range s.Tree.Nodes() {
+			ni := nis[v]
+			ns := ni.sessions[s.MsgID]
+			rec := &HostRecord{
+				Host:     v,
+				Arrivals: ns.arrivals,
+				Sends:    ns.sends,
+				Recvs:    ns.recvs,
+			}
+			if a, ok := got[si][v]; ok {
+				rec.Data = a.data
+				rec.DoneAt = a.at
+				if a.at > sr.Latency {
+					sr.Latency = a.at
+				}
+			}
+			sr.Hosts[v] = rec
+			res.Sends += ns.sends
+			if rt.cfg.Record {
+				res.Events = append(res.Events, ns.events...)
+			}
+		}
+		res.Sessions[si] = sr
+	}
+	if rt.cfg.Record {
+		sort.SliceStable(res.Events, func(i, j int) bool {
+			return res.Events[i].Time < res.Events[j].Time
+		})
+	}
+	return res
+}
+
+// buildFabric constructs the per-host NIs and the per-edge links of every
+// session's tree.
+func buildFabric(rt *runtime) map[int]*ni {
+	// Expected inbound frames per host, across sessions: the unbounded
+	// inbox capacity that guarantees senders never block on the wire.
+	expect := map[int]int{}
+	for _, s := range rt.sessions {
+		for _, v := range s.Tree.Nodes() {
+			if v != s.Tree.Root() {
+				expect[v] += len(s.Packets)
+			}
+		}
+	}
+	nis := map[int]*ni{}
+	hostNI := func(v int) *ni {
+		n, ok := nis[v]
+		if !ok {
+			capacity := expect[v]
+			if rt.cfg.BufferPackets > 0 {
+				capacity = rt.cfg.BufferPackets
+			}
+			n = &ni{
+				rt:       rt,
+				host:     v,
+				inbox:    link.NewInbox(v, capacity, rt.cfg.BufferPackets),
+				sessions: map[uint32]*niSession{},
+			}
+			nis[v] = n
+		}
+		return n
+	}
+	for si, s := range rt.sessions {
+		for _, v := range s.Tree.Nodes() {
+			n := hostNI(v)
+			ns := &niSession{index: si, m: len(s.Packets)}
+			if v != s.Tree.Root() {
+				ns.reasm = message.NewReassembler()
+			}
+			for _, c := range s.Tree.Children(v) {
+				ns.links = append(ns.links, link.New(v, hostNI(c).inbox, rt.cfg.LinkLatency))
+			}
+			n.sessions[s.MsgID] = ns
+		}
+	}
+	return nis
+}

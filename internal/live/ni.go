@@ -1,0 +1,161 @@
+package live
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/live/link"
+	"repro/internal/message"
+	"repro/internal/sim"
+)
+
+// niSession is one host's protocol state for one session. Ownership is
+// strict so the runtime stays race-free by construction: the state of a
+// session at its root is written only by that session's injector
+// goroutine; everywhere else only by the host's NI goroutine. The
+// runtime reads it after the WaitGroup drains.
+type niSession struct {
+	index    int                  // session index in the run
+	m        int                  // packets in the message
+	links    []*link.Link         // child links in tree send order
+	reasm    *message.Reassembler // nil at the root
+	arrivals []Arrival
+	sends    int
+	recvs    int
+	events   []sim.TraceEvent // only when Config.Record
+}
+
+// ni is one host's network interface: a single goroutine draining one
+// inbox, serving every session's arrivals in FPFS order.
+type ni struct {
+	rt       *runtime
+	host     int
+	inbox    *link.Inbox
+	sessions map[uint32]*niSession
+}
+
+// startAll launches one goroutine per NI plus one injector per session
+// root and returns the WaitGroup that drains them all.
+func startAll(rt *runtime, nis map[int]*ni) *sync.WaitGroup {
+	var wg sync.WaitGroup
+	for _, n := range nis {
+		wg.Add(1)
+		go func(n *ni) {
+			defer wg.Done()
+			n.run()
+		}(n)
+	}
+	for _, s := range rt.sessions {
+		root := nis[s.Tree.Root()]
+		ns := root.sessions[s.MsgID]
+		wg.Add(1)
+		go func(s Session, root *ni, ns *niSession) {
+			defer wg.Done()
+			inject(rt, s, root, ns)
+		}(s, root, ns)
+	}
+	return &wg
+}
+
+// inject is the source pump of one session: the host DMA feeding the
+// root NI. FPFS at the source is packet-major — packet 0 to every child,
+// then packet 1, ... — one copy at a time (the NI is a serial server).
+func inject(rt *runtime, s Session, root *ni, ns *niSession) {
+	for j, pkt := range s.Packets {
+		for _, l := range ns.links {
+			if err := l.Send(pkt, rt.abort); err != nil {
+				return // aborted; the collector already owns the error
+			}
+			ns.sends++
+			if rt.cfg.Record {
+				ns.events = append(ns.events, sim.TraceEvent{
+					Kind: "inject", Time: rt.since(), Host: root.host,
+					Peer: l.To(), Session: ns.index, Packet: j,
+				})
+			}
+		}
+	}
+}
+
+// run is the NI forwarding loop: admit the next frame (the sender has
+// already reserved our buffer slot), forward a copy to every child of
+// its session — FPFS: each packet goes out the moment it arrives —
+// deliver locally, then release the slot. The loop exits when the
+// runtime closes the inbox (all sessions complete) or aborts.
+func (n *ni) run() {
+	for {
+		f, ok := n.inbox.Recv(n.rt.abort)
+		if !ok {
+			return
+		}
+		if err := n.serve(f); err != nil {
+			n.fail(err)
+			return
+		}
+	}
+}
+
+// fail reports the first NI-level failure to the collector; later ones
+// are dropped (the first abort tears everything down).
+func (n *ni) fail(err error) {
+	select {
+	case n.rt.fail <- err:
+	default:
+	}
+}
+
+// serve handles one admitted frame end to end.
+func (n *ni) serve(f link.Frame) error {
+	h, err := message.DecodeHeader(f.Payload)
+	if err != nil {
+		return fmt.Errorf("live: host %d: undecodable frame from %d: %v", n.host, f.From, err)
+	}
+	ns, ok := n.sessions[h.MsgID]
+	if !ok {
+		return fmt.Errorf("live: host %d: frame for unknown session %d from %d", n.host, h.MsgID, f.From)
+	}
+	j := int(h.Seq)
+	ns.recvs++
+	ns.arrivals = append(ns.arrivals, Arrival{Packet: j, From: f.From})
+	if n.rt.cfg.Record {
+		ns.events = append(ns.events, sim.TraceEvent{
+			Kind: "deliver", Time: n.rt.since(), Host: n.host,
+			Peer: f.From, Session: ns.index, Packet: j,
+		})
+	}
+
+	// Forward first (FPFS: the copy engine runs ahead of host delivery),
+	// then reassemble locally, then free the buffer slot — the slot is
+	// held for the packet's full service residency, like the simulator's.
+	for _, l := range ns.links {
+		if err := l.Send(f.Payload, n.rt.abort); err != nil {
+			return nil // aborted mid-forward; collector owns the verdict
+		}
+		ns.sends++
+		if n.rt.cfg.Record {
+			ns.events = append(ns.events, sim.TraceEvent{
+				Kind: "inject", Time: n.rt.since(), Host: n.host,
+				Peer: l.To(), Session: ns.index, Packet: j,
+			})
+		}
+	}
+	done, err := ns.reasm.Add(f.Payload)
+	if err != nil {
+		return fmt.Errorf("live: host %d: packet %d of session %d: %v", n.host, j, h.MsgID, err)
+	}
+	if done {
+		at := time.Since(n.rt.start)
+		if n.rt.cfg.Record {
+			ns.events = append(ns.events, sim.TraceEvent{
+				Kind: "done", Time: n.rt.since(), Host: n.host,
+				Peer: -1, Session: ns.index, Packet: -1,
+			})
+		}
+		// The ack channel is sized for every destination; this never
+		// blocks.
+		n.rt.acks <- ack{sess: ns.index, host: n.host, at: at, data: ns.reasm.Bytes()}
+	}
+	n.inbox.Release()
+	return nil
+}

@@ -1,0 +1,75 @@
+package live
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/message"
+	"repro/internal/workload"
+)
+
+// TestLiveSoak runs 500 fixed-seed live broadcasts over planner-built
+// trees on one shared cube system, varying group size, payload size, and
+// buffer bound, asserting byte-exact in-order delivery on every one. CI
+// runs it under -race in the soak job; each broadcast spins up its own
+// goroutine fabric, so the soak doubles as a shutdown-leak detector.
+func TestLiveSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short mode")
+	}
+	const runs = 500
+	sys := core.NewCubeSystem(2, 5) // 32 hosts
+	n := 32
+	rng := workload.NewRNG(0x50a7_11fe)
+	for i := 0; i < runs; i++ {
+		groupSize := 2 + rng.Intn(n-1)
+		perm := rng.Perm(n)
+		hosts := perm[:groupSize]
+		payload := make([]byte, 1+rng.Intn(700))
+		for j := range payload {
+			payload[j] = byte(rng.Uint64())
+		}
+		plan := sys.Plan(core.Spec{
+			Source:  hosts[0],
+			Dests:   hosts[1:],
+			Packets: 1, // tree shape only; packet count comes from payload
+			Policy:  core.OptimalTree,
+		})
+		msgID := uint32(i + 1)
+		pkts, err := message.Packetize(msgID, hosts[0], payload, 64)
+		if err != nil {
+			t.Fatalf("run %d: Packetize: %v", i, err)
+		}
+		cfg := Config{
+			BufferPackets: rng.Intn(4), // 0 = unbounded, else 1..3
+			Timeout:       time.Minute,
+		}
+		res, err := Run([]Session{{Tree: plan.Tree, Packets: pkts, MsgID: msgID}}, cfg)
+		if err != nil {
+			t.Fatalf("run %d (group %d, %d packets, buffer %d): %v",
+				i, groupSize, len(pkts), cfg.BufferPackets, err)
+		}
+		if res.Sends != (plan.Tree.Size()-1)*len(pkts) {
+			t.Fatalf("run %d: %d sends, want %d", i, res.Sends, (plan.Tree.Size()-1)*len(pkts))
+		}
+		sr := res.Sessions[0]
+		for _, v := range plan.Tree.Nodes() {
+			if v == plan.Tree.Root() {
+				continue
+			}
+			rec := sr.Hosts[v]
+			if !bytes.Equal(rec.Data, payload) {
+				t.Fatalf("run %d: host %d delivered %d bytes, want %d", i, v, len(rec.Data), len(payload))
+			}
+			parent, _ := plan.Tree.Parent(v)
+			for j, a := range rec.Arrivals {
+				if a.Packet != j || a.From != parent {
+					t.Fatalf("run %d: host %d arrival %d = %+v, want packet %d from parent %d",
+						i, v, j, a, j, parent)
+				}
+			}
+		}
+	}
+}

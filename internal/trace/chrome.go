@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// chromeEvent is one record of the Chrome trace-event format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU):
+// the "ts" unit is microseconds, which is exactly the simulator's native
+// time unit, so event times pass through unscaled. Sessions map to pids
+// and hosts to tids, so about://tracing groups lanes per session with one
+// row per host.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object envelope ("traceEvents" plus metadata),
+// the variant the Perfetto/catapult viewers accept most liberally.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// ChromeJSON renders a trace — simulated (microsecond virtual clock) or
+// live (wall-clock microseconds since run start) — in Chrome trace-event
+// format for about://tracing or ui.perfetto.dev. Injections, deliveries,
+// and completions become instant events on the (session=pid, host=tid)
+// lane; per-host metadata events name the rows.
+func ChromeJSON(events []sim.TraceEvent) ([]byte, error) {
+	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	named := map[[2]int]bool{}
+	for _, e := range events {
+		lane := [2]int{e.Session, e.Host}
+		if !named[lane] {
+			named[lane] = true
+			out.TraceEvents = append(out.TraceEvents,
+				chromeEvent{
+					Name: "process_name", Phase: "M", PID: e.Session, TID: e.Host,
+					Args: map[string]any{"name": fmt.Sprintf("session %d", e.Session)},
+				},
+				chromeEvent{
+					Name: "thread_name", Phase: "M", PID: e.Session, TID: e.Host,
+					Args: map[string]any{"name": fmt.Sprintf("host %d", e.Host)},
+				})
+		}
+		ce := chromeEvent{
+			Phase: "i",
+			Scope: "t", // thread-scoped instant: a tick on the host's row
+			TS:    e.Time,
+			PID:   e.Session,
+			TID:   e.Host,
+			Args:  map[string]any{"packet": e.Packet, "peer": e.Peer},
+		}
+		switch e.Kind {
+		case "inject":
+			ce.Name = fmt.Sprintf("send p%d -> h%d", e.Packet, e.Peer)
+			if e.Wait > 0 {
+				ce.Args["channelWaitUs"] = e.Wait
+			}
+		case "deliver":
+			ce.Name = fmt.Sprintf("recv p%d <- h%d", e.Packet, e.Peer)
+		case "done":
+			ce.Name = "done"
+			ce.Scope = "p" // completion stands out process-wide
+			delete(ce.Args, "packet")
+			delete(ce.Args, "peer")
+		default:
+			ce.Name = e.Kind
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	return json.MarshalIndent(out, "", " ")
+}

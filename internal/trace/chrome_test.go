@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestChromeJSONShape(t *testing.T) {
+	events := []sim.TraceEvent{
+		{Kind: "inject", Time: 1.5, Host: 0, Peer: 3, Session: 0, Packet: 0, Wait: 0.5},
+		{Kind: "deliver", Time: 4.25, Host: 3, Peer: 0, Session: 0, Packet: 0},
+		{Kind: "done", Time: 5, Host: 3, Peer: -1, Session: 0, Packet: -1},
+		{Kind: "inject", Time: 2, Host: 7, Peer: 9, Session: 1, Packet: 2},
+	}
+	raw, err := ChromeJSON(events)
+	if err != nil {
+		t.Fatalf("ChromeJSON: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TS    float64        `json:"ts"`
+			PID   int            `json:"pid"`
+			TID   int            `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit == "" {
+		t.Error("missing displayTimeUnit")
+	}
+	counts := map[string]int{}
+	var sawDeliver bool
+	for _, e := range doc.TraceEvents {
+		counts[e.Phase]++
+		if e.Phase == "M" {
+			continue
+		}
+		if e.TS < 0 {
+			t.Errorf("negative ts %f", e.TS)
+		}
+		if e.Name == "recv p0 <- h0" {
+			sawDeliver = true
+			if e.PID != 0 || e.TID != 3 {
+				t.Errorf("deliver mapped to pid %d tid %d, want session 0 host 3", e.PID, e.TID)
+			}
+		}
+	}
+	// 3 lanes seen -> 6 metadata events; 4 instants.
+	if counts["M"] != 6 {
+		t.Errorf("%d metadata events, want 6 (2 per lane, 3 lanes)", counts["M"])
+	}
+	if counts["i"] != 4 {
+		t.Errorf("%d instant events, want 4", counts["i"])
+	}
+	if !sawDeliver {
+		t.Error("deliver event missing or misnamed")
+	}
+}
+
+func TestChromeJSONEmpty(t *testing.T) {
+	raw, err := ChromeJSON(nil)
+	if err != nil {
+		t.Fatalf("ChromeJSON(nil): %v", err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("empty trace is not valid JSON: %v", err)
+	}
+	if _, ok := doc["traceEvents"]; !ok {
+		t.Error("empty trace lacks traceEvents array")
+	}
+}
