@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check staticcheck mcastcheck soak bench ci figures clean live-race
+.PHONY: all build test race vet fmt check staticcheck mcastcheck soak chaos-soak bench ci figures clean live-race
 
 all: check
 
@@ -60,6 +60,16 @@ soak:
 	$(GO) run -race ./cmd/mcastcheck -n 2000 -seed 2 -workers 4
 	$(GO) test -race -run TestLiveSoak -count=1 ./internal/live
 
+# Chaos soak: a fixed-seed sweep of the fault-decorated reliable live
+# engine — seeded loss/corruption/reordering, NI crash-stops and amnesiac
+# rejoins — under the race detector, restricted to the four chaos-plane
+# invariants so the live engine (not the simulators) is what the wall
+# clock buys. -workers 1: the chaos cases are wall-clock timed; oversubs-
+# cribing cores makes real goroutine schedules, not throughput.
+chaos-soak:
+	$(GO) run -race ./cmd/mcastcheck -n 250 -seed 3 -workers 1 \
+		-only live-faulty-terminates,live-survivor-bytes,live-epoch-monotone,live-faulty-lossless-identity
+
 # Bench: the tracked performance baseline. Runs the engine event-loop,
 # harness-throughput and reliable-delivery suites with -benchmem and
 # records the parsed results as BENCH_sim.json (see DESIGN.md §10 for how
@@ -71,7 +81,7 @@ bench:
 		| $(GO) run ./cmd/benchjson -echo > BENCH_sim.json
 	@echo "wrote BENCH_sim.json"
 
-ci: check staticcheck live-race mcastcheck
+ci: check staticcheck live-race mcastcheck chaos-soak
 
 figures:
 	$(GO) run ./cmd/figures -out figures

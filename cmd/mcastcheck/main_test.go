@@ -66,3 +66,30 @@ func TestReplayExitCode(t *testing.T) {
 		t.Fatalf("replay verdict not printed:\n%s", out.String())
 	}
 }
+
+// TestOnlyFilter pins the -only flag: a restricted sweep runs just the
+// selected invariants (the report says so), and an unknown ID is a usage
+// error, not a silently-empty sweep.
+func TestOnlyFilter(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run([]string{"-n", "5", "-seed", "1", "-workers", "1",
+		"-only", "tree-structure, t1-exact"}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("filtered sweep exited %d, want 0\noutput:\n%s%s", code, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), "2 invariants each") {
+		t.Fatalf("report does not reflect the filter:\n%s", out.String())
+	}
+	if len(check.Active()) != len(check.Invariants) {
+		t.Fatal("filter leaked past run()")
+	}
+
+	out.Reset()
+	errw.Reset()
+	if code := run([]string{"-n", "5", "-only", "no-such-invariant"}, &out, &errw); code != 2 {
+		t.Fatalf("unknown -only ID exited %d, want 2", code)
+	}
+	if !strings.Contains(errw.String(), "no-such-invariant") {
+		t.Fatalf("unknown ID not named on stderr:\n%s", errw.String())
+	}
+}

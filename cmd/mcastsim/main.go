@@ -35,7 +35,22 @@
 // links (internal/live), real wire-format packets are reassembled and
 // verified at every destination, and the report puts the measured
 // wall-clock latency next to the simulator's prediction for the same
-// plan. Live runs support -ni fpfs -model packet without fault flags.
+// plan. Live runs support -ni fpfs -model packet.
+//
+// Combining -live with fault flags runs the chaos-hardened reliable live
+// engine: the transport is wrapped in a seeded fault-injection decorator
+// and delivery rides real retransmission timers, live heartbeats, and
+// epoch-fenced reconfiguration. Because the live plane works on the wall
+// clock, fault times are MILLISECONDS there (the simulator flags use
+// microseconds), and the -faults directives differ slightly: kill is
+// per directed host pair, and jitter/reorder appear:
+//
+//	mcastsim -live -droprate 0.05 -crash 19@4 -quorum 1
+//	mcastsim -live -faults "kill:7-12@5,jitter:0.5,reorder:0.1,seed:3"
+//
+// Live directives: kill:FROM-TO@Tms, stall:HOST@FROM-UNTILms, corrupt:P,
+// reorder:P, ackdrop:P, jitter:Dms, seed:N. -live-timeout bounds the
+// watchdog (default 30s).
 //
 // -trace-json FILE writes the run's event trace (simulated, or live when
 // combined with -live) in Chrome trace-event format, viewable in
@@ -53,6 +68,8 @@ import (
 	"repro"
 	"repro/internal/flitsim"
 	"repro/internal/live"
+	"repro/internal/live/link"
+	"repro/internal/membership"
 	"repro/internal/message"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -71,6 +88,7 @@ func main() {
 	timeline := flag.Bool("timeline", false, "print an ASCII per-host activity timeline")
 	traceJSON := flag.String("trace-json", "", "write the event trace to FILE in Chrome trace-event format")
 	liveRun := flag.Bool("live", false, "execute the multicast on the live goroutine runtime instead of simulating")
+	liveTimeout := flag.Duration("live-timeout", 0, "watchdog timeout for -live runs (0 = the 30s default)")
 	model := flag.String("model", "packet", "network model: packet (fast reservation) or flit (cycle-accurate wormhole)")
 	reliableRun := flag.Bool("reliable", false, "use the ACK/NACK reliable-delivery protocol (implied by any fault flag)")
 	droprate := flag.Float64("droprate", 0, "per-transmission packet loss probability [0,1)")
@@ -129,12 +147,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, "mcastsim: -live supports -ni fpfs -model packet only")
 			os.Exit(1)
 		}
-		if *reliableRun || *droprate > 0 || *faultSpec != "" || len(crashes) > 0 {
-			fmt.Fprintln(os.Stderr, "mcastsim: -live does not combine with fault flags (the live runtime has no fault plane)")
-			os.Exit(1)
-		}
 		fmt.Printf("system: %s (seed %d)\n", sys.Net.Summary(), *seed)
-		runLive(sys, plan, *wseed, *verbose, *traceJSON)
+		if *reliableRun || *droprate > 0 || *faultSpec != "" || len(crashes) > 0 || *quorum > 0 {
+			runLiveReliable(sys, plan, *droprate, *faultSpec, crashes, *quorum, *retries, *liveTimeout, *wseed, *verbose)
+			return
+		}
+		runLive(sys, plan, *liveTimeout, *wseed, *verbose, *traceJSON)
 		return
 	}
 
@@ -200,7 +218,7 @@ func main() {
 // runLive executes the plan on the live goroutine runtime (internal/live)
 // with a deterministic payload of exactly the spec's packet count, and
 // reports the measured wall clock next to the simulator's prediction.
-func runLive(sys *repro.System, plan *repro.Plan, wseed uint64, verbose bool, traceJSON string) {
+func runLive(sys *repro.System, plan *repro.Plan, timeout time.Duration, wseed uint64, verbose bool, traceJSON string) {
 	p := repro.DefaultParams()
 	payload := make([]byte, plan.Spec.Packets*(p.PacketBytes-message.HeaderSize))
 	prng := workload.NewRNG(wseed ^ 0x9e3779b97f4a7c15)
@@ -214,7 +232,7 @@ func runLive(sys *repro.System, plan *repro.Plan, wseed uint64, verbose bool, tr
 	}
 	res, err := live.Run(
 		[]live.Session{{Tree: plan.Tree, Packets: pkts, MsgID: 1}},
-		live.Config{BufferPackets: p.NIBufferPackets, Record: traceJSON != ""},
+		live.Config{BufferPackets: p.NIBufferPackets, Record: traceJSON != "", Timeout: timeout},
 	)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mcastsim: live run: %v\n", err)
@@ -252,6 +270,209 @@ func runLive(sys *repro.System, plan *repro.Plan, wseed uint64, verbose bool, tr
 	}
 	if traceJSON != "" {
 		writeChromeTrace(traceJSON, res.Events)
+	}
+}
+
+// ms converts a millisecond-valued float (the live plane's CLI time unit)
+// to a wall-clock duration.
+func ms(v float64) time.Duration { return time.Duration(v * float64(time.Millisecond)) }
+
+// parseLiveFaults turns the -faults directive list into a live chaos
+// plane. Times are milliseconds: the live fabric runs on the wall clock,
+// where the simulator's microsecond scale is below timer resolution.
+func parseLiveFaults(spec string, droprate float64) (link.Faults, error) {
+	f := link.Faults{Seed: 1, DropRate: droprate}
+	if spec == "" {
+		return f, nil
+	}
+	for _, dir := range strings.Split(spec, ",") {
+		kind, arg, ok := strings.Cut(strings.TrimSpace(dir), ":")
+		if !ok {
+			return f, fmt.Errorf("directive %q is not kind:value", dir)
+		}
+		switch kind {
+		case "kill":
+			pair, at, ok := strings.Cut(arg, "@")
+			if !ok {
+				return f, fmt.Errorf("live kill %q is not FROM-TO@Tms", arg)
+			}
+			from, to, ok := strings.Cut(pair, "-")
+			if !ok {
+				return f, fmt.Errorf("live kill pair %q is not FROM-TO", pair)
+			}
+			src, err1 := strconv.Atoi(from)
+			dst, err2 := strconv.Atoi(to)
+			t, err3 := strconv.ParseFloat(at, 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return f, fmt.Errorf("live kill %q: bad fields", arg)
+			}
+			f.Kills = append(f.Kills, link.LinkKill{From: src, To: dst, At: ms(t)})
+		case "stall":
+			host, window, ok := strings.Cut(arg, "@")
+			if !ok {
+				return f, fmt.Errorf("stall %q is not HOST@FROM-UNTILms", arg)
+			}
+			h, err := strconv.Atoi(host)
+			if err != nil {
+				return f, fmt.Errorf("stall host %q: %v", host, err)
+			}
+			from, until, ok := strings.Cut(window, "-")
+			if !ok {
+				return f, fmt.Errorf("stall window %q is not FROM-UNTIL", window)
+			}
+			fr, err1 := strconv.ParseFloat(from, 64)
+			un, err2 := strconv.ParseFloat(until, 64)
+			if err1 != nil || err2 != nil {
+				return f, fmt.Errorf("stall window %q: bad bounds", window)
+			}
+			f.Stalls = append(f.Stalls, link.StallWindow{Host: h, From: ms(fr), Until: ms(un)})
+		case "corrupt":
+			p, err := strconv.ParseFloat(arg, 64)
+			if err != nil {
+				return f, fmt.Errorf("corrupt rate %q: %v", arg, err)
+			}
+			f.CorruptRate = p
+		case "reorder":
+			p, err := strconv.ParseFloat(arg, 64)
+			if err != nil {
+				return f, fmt.Errorf("reorder rate %q: %v", arg, err)
+			}
+			f.ReorderRate = p
+		case "ackdrop":
+			p, err := strconv.ParseFloat(arg, 64)
+			if err != nil {
+				return f, fmt.Errorf("ackdrop rate %q: %v", arg, err)
+			}
+			f.AckDropRate = p
+		case "jitter":
+			d, err := strconv.ParseFloat(arg, 64)
+			if err != nil {
+				return f, fmt.Errorf("jitter %q: %v", arg, err)
+			}
+			f.MaxJitter = ms(d)
+		case "seed":
+			s, err := strconv.ParseUint(arg, 10, 64)
+			if err != nil {
+				return f, fmt.Errorf("seed %q: %v", arg, err)
+			}
+			f.Seed = s
+		default:
+			return f, fmt.Errorf("unknown live fault directive %q", kind)
+		}
+	}
+	return f, nil
+}
+
+// runLiveReliable executes the plan on the chaos-hardened reliable live
+// engine — a fault-decorated transport under real retransmission timers,
+// heartbeats, and epoch-fenced reconfiguration — and prints the protocol
+// and chaos counters. Crash times (-crash HOST@T[@RT]) are milliseconds.
+func runLiveReliable(sys *repro.System, plan *repro.Plan, droprate float64, faultSpec string, crashes []repro.HostCrash, quorum, retries int, timeout time.Duration, wseed uint64, verbose bool) {
+	faults, err := parseLiveFaults(faultSpec, droprate)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcastsim: -faults: %v\n", err)
+		os.Exit(1)
+	}
+	cfg := live.DefaultReliableConfig()
+	cfg.Faults = faults
+	cfg.RetryBudget = retries
+	cfg.Quorum = quorum
+	cfg.Live.Timeout = timeout
+	for _, c := range crashes {
+		hc := live.HostCrash{Host: c.Host, At: ms(c.At)}
+		if c.RecoverAt > 0 {
+			hc.RecoverAt = ms(c.RecoverAt)
+		}
+		cfg.Crashes = append(cfg.Crashes, hc)
+	}
+
+	p := repro.DefaultParams()
+	payload := make([]byte, plan.Spec.Packets*(p.PacketBytes-message.HeaderSize))
+	prng := workload.NewRNG(wseed ^ 0x9e3779b97f4a7c15)
+	for i := range payload {
+		payload[i] = byte(prng.Uint64())
+	}
+	pkts, err := message.Packetize(1, plan.Spec.Source, payload, p.PacketBytes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcastsim: %v\n", err)
+		os.Exit(1)
+	}
+	res, err := live.RunReliable(live.Session{Tree: plan.Tree, Packets: pkts, MsgID: 1}, cfg)
+	if res == nil {
+		// Validation failure (bad rates, bad crash plan): no run happened.
+		fmt.Fprintf(os.Stderr, "mcastsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("spec:   source h%d, %d destinations, %d packets (%d payload bytes), %s tree, reliable live FPFS\n",
+		plan.Spec.Source, len(plan.Spec.Dests), res.Packets, len(payload), plan.Spec.Policy)
+	fmt.Printf("faults: drop=%g corrupt=%g reorder=%g ackdrop=%g jitter=%v kills=%d stalls=%d crashes=%d seed=%d\n",
+		faults.DropRate, faults.CorruptRate, faults.ReorderRate, faults.AckDropRate, faults.MaxJitter,
+		len(faults.Kills), len(faults.Stalls), len(cfg.Crashes), faults.Seed)
+	fmt.Printf("result: wall latency %v, %d sends (%d retransmits), %d duplicates suppressed, %d stale fenced\n",
+		res.Latency.Round(time.Microsecond), res.Sends, res.Retransmits, res.Duplicates, res.Fenced)
+	fmt.Printf("        injected: %d dropped, %d corrupted, %d reordered, %d acks lost, %d dead-link sends\n",
+		res.Faults.Dropped, res.Faults.Corrupted, res.Faults.Reordered, res.Faults.AcksDropped, res.Faults.DeadSends)
+	if len(cfg.Crashes) > 0 {
+		fmt.Printf("        crashes: %d crash-dropped frames, %d adoptions, final epoch %d\n",
+			res.CrashDrops, res.Adoptions, res.Epoch)
+		printLiveViews(res.Views)
+	} else if res.Adoptions > 0 {
+		fmt.Printf("        %d mid-flight re-graft(s) repaired starved subtrees\n", res.Adoptions)
+	}
+	if verbose {
+		fmt.Println("\nper-destination completion (wall clock):")
+		for _, d := range plan.Chain[1:] {
+			if rec := res.Hosts[d]; rec != nil && rec.Data != nil {
+				fmt.Printf("  h%-3d %10v\n", d, rec.DoneAt.Round(time.Microsecond))
+			} else {
+				fmt.Printf("  h%-3d   (undelivered)\n", d)
+			}
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcastsim: %v\n", err)
+		os.Exit(1)
+	}
+	switch res.Status {
+	case repro.DeliveredPartial:
+		fmt.Printf("        status %s (epoch %d): %d of %d destinations received the %d-byte message byte-exactly; undelivered: %s\n",
+			res.Status, res.Epoch, len(plan.Spec.Dests)-len(res.Orphaned), len(plan.Spec.Dests), len(payload), joinHosts(res.Orphaned))
+	default:
+		fmt.Printf("        status %s: all %d destinations received the %d-byte message byte-exactly\n",
+			res.Status, len(plan.Spec.Dests), len(payload))
+	}
+}
+
+// printLiveViews renders the live membership plane's epoch history as
+// per-view member diffs (wall-clock microsecond timestamps).
+func printLiveViews(views []membership.View) {
+	for i, v := range views {
+		if i == 0 {
+			fmt.Printf("        view epoch %d: initial, %d members\n", v.Epoch, len(v.Members))
+			continue
+		}
+		prev := map[int]bool{}
+		for _, h := range views[i-1].Members {
+			prev[h] = true
+		}
+		cur := map[int]bool{}
+		for _, h := range v.Members {
+			cur[h] = true
+		}
+		var diff []string
+		for _, h := range views[i-1].Members {
+			if !cur[h] {
+				diff = append(diff, fmt.Sprintf("-h%d", h))
+			}
+		}
+		for _, h := range v.Members {
+			if !prev[h] {
+				diff = append(diff, fmt.Sprintf("+h%d", h))
+			}
+		}
+		fmt.Printf("        view epoch %d @ %.1f us: %s (%d members)\n",
+			v.Epoch, v.At, strings.Join(diff, " "), len(v.Members))
 	}
 }
 

@@ -19,9 +19,11 @@ package check
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/ktree"
+	"repro/internal/live"
 	"repro/internal/ordering"
 	"repro/internal/stepsim"
 	"repro/internal/topology"
@@ -245,6 +247,13 @@ type world struct {
 	sys  *core.System
 	plan *core.Plan
 	n, m int
+
+	// liveRel memoizes the chaos-plane live arm: one real goroutine run
+	// (tens of milliseconds of wall clock on crash instances) shared by
+	// every live-faulty invariant of the instance.
+	liveRelOnce sync.Once
+	liveRelRes  *live.ReliableResult
+	liveRelErr  error
 }
 
 // build constructs the system and plan for an instance. It panics (as the

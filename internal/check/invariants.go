@@ -53,6 +53,10 @@ var Invariants = []Invariant{
 	{"crash-epoch-monotone", "accepted packets carry nondecreasing epochs and installed views advance the epoch strictly", checkCrashEpochMonotone},
 	{"crash-survivor-bytes", "every surviving destination is delivered byte-exactly despite crashes, recoveries, and loss", checkCrashSurvivorBytes},
 	{"live-matches-sim", "the goroutine live runtime reproduces the FPFS step schedule's structure exactly: per-host delivery order, parent edges, and send/receive counts", checkLiveMatchesSim},
+	{"live-faulty-terminates", "the chaos-plane live engine reaches a clean verdict on every fault plan — loss, corruption, reordering, ACK loss, crashes — never the watchdog", checkLiveFaultyTerminates},
+	{"live-survivor-bytes", "every destination not scheduled to crash-stop ends the faulty live run holding the byte-exact payload", checkLiveSurvivorBytes},
+	{"live-epoch-monotone", "faulty live accepts carry per-host nondecreasing epochs and installed views advance strictly from the initial epoch-1 view", checkLiveEpochMonotone},
+	{"live-faulty-lossless-identity", "with the fault plane at p=0 the chaos-wrapped reliable live engine is byte- and order-identical to the plain live engine", checkLiveFaultyLosslessIdentity},
 }
 
 // InvariantByID returns the catalogue entry with the given ID.
@@ -63,6 +67,49 @@ func InvariantByID(id string) (Invariant, bool) {
 		}
 	}
 	return Invariant{}, false
+}
+
+// selected, when non-nil, restricts Check to the IDs it contains. It is
+// written once by Select before a sweep starts and only read afterwards;
+// calling Select concurrently with a running sweep is a data race.
+var selected map[string]bool
+
+// Select restricts the catalogue that Check — and therefore Run,
+// RunParallel, RunCase and Shrink — evaluates to the given IDs; calling
+// it with no arguments restores the full catalogue. Unknown IDs are an
+// error and leave the filter unchanged. Shrinking is unaffected by the
+// filter beyond the obvious: a violation can only come from a selected
+// invariant, and that invariant stays selected while its counterexample
+// shrinks.
+func Select(ids ...string) error {
+	if len(ids) == 0 {
+		selected = nil
+		return nil
+	}
+	m := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		if _, ok := InvariantByID(id); !ok {
+			return fmt.Errorf("check: unknown invariant %q", id)
+		}
+		m[id] = true
+	}
+	selected = m
+	return nil
+}
+
+// Active returns the invariants Check currently evaluates: the whole
+// catalogue, or the subset chosen by Select, in catalogue order.
+func Active() []Invariant {
+	if selected == nil {
+		return Invariants
+	}
+	var out []Invariant
+	for _, inv := range Invariants {
+		if selected[inv.ID] {
+			out = append(out, inv)
+		}
+	}
+	return out
 }
 
 // Check builds the instance and runs the full catalogue, converting panics
@@ -77,7 +124,7 @@ func Check(inst Instance) []Violation {
 	if err != nil {
 		return []Violation{{ID: "build-panic", Detail: err.Error()}}
 	}
-	for _, inv := range Invariants {
+	for _, inv := range Active() {
 		if err := safeCheck(inv, w); err != nil {
 			out = append(out, Violation{ID: inv.ID, Detail: err.Error()})
 		}

@@ -1,0 +1,95 @@
+package check
+
+import "testing"
+
+// chaosInvariantIDs are the four chaos-plane invariants added with the
+// faulty live engine. make chaos-soak sweeps exactly these.
+var chaosInvariantIDs = []string{
+	"live-faulty-terminates",
+	"live-survivor-bytes",
+	"live-epoch-monotone",
+	"live-faulty-lossless-identity",
+}
+
+// TestLiveFaultyInvariant250Cases is the chaos acceptance gate: 250 seeded
+// harness instances — lossy, crashing, and lossless alike — run through
+// the fault-decorated reliable live engine, checking termination, survivor
+// payload bytes, epoch monotonicity, and p=0 identity with the plain live
+// engine. The faulty run is memoized per instance, so the four invariants
+// share a single execution. CI runs this under -race.
+func TestLiveFaultyInvariant250Cases(t *testing.T) {
+	const cases = 250
+	failed := 0
+	for c := 0; c < cases; c++ {
+		inst := Generate(3, c)
+		w, err := safeBuild(inst)
+		if err != nil {
+			t.Fatalf("case %d: build: %v", c, err)
+		}
+		for _, id := range chaosInvariantIDs {
+			inv, ok := InvariantByID(id)
+			if !ok {
+				t.Fatalf("%s invariant not registered", id)
+			}
+			if err := safeCheck(inv, w); err != nil {
+				failed++
+				t.Errorf("case %d [%s] (replay: mcastcheck -seed 3 -case %d): %v", c, id, c, err)
+				if failed >= 5 {
+					t.Fatal("stopping after 5 chaos failures")
+				}
+			}
+		}
+	}
+}
+
+// TestLiveFaultySweepSpread pins the fault-plan derivation: the sweep must
+// exercise lossy, crashing, and perfectly lossless instances, or the
+// identity arm (and therefore decorator transparency) goes untested.
+func TestLiveFaultySweepSpread(t *testing.T) {
+	lossy, crashing, clean := 0, 0, 0
+	for c := 0; c < 250; c++ {
+		inst := Generate(3, c)
+		switch {
+		case inst.DropRate > 0 && len(inst.Crashes) > 0:
+			lossy++
+			crashing++
+		case inst.DropRate > 0:
+			lossy++
+		case len(inst.Crashes) > 0:
+			crashing++
+		default:
+			clean++
+		}
+	}
+	if lossy == 0 || crashing == 0 || clean == 0 {
+		t.Fatalf("sweep is degenerate: %d lossy / %d crashing / %d clean", lossy, crashing, clean)
+	}
+}
+
+// TestSelectFilter pins the Select/Active contract the mcastcheck -only
+// flag builds on.
+func TestSelectFilter(t *testing.T) {
+	defer Select()
+	if err := Select("live-faulty-terminates", "tree-structure"); err != nil {
+		t.Fatal(err)
+	}
+	act := Active()
+	if len(act) != 2 || act[0].ID != "tree-structure" || act[1].ID != "live-faulty-terminates" {
+		t.Fatalf("Active() = %v, want catalogue-ordered selection", act)
+	}
+	if vs := Check(Generate(1, 0)); len(vs) != 0 {
+		t.Fatalf("filtered Check failed: %v", vs)
+	}
+	if err := Select("bogus"); err == nil {
+		t.Fatal("unknown ID accepted")
+	}
+	if len(Active()) != 2 {
+		t.Fatal("failed Select clobbered the filter")
+	}
+	if err := Select(); err != nil {
+		t.Fatal(err)
+	}
+	if len(Active()) != len(Invariants) {
+		t.Fatal("empty Select did not restore the catalogue")
+	}
+}

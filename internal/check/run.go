@@ -56,7 +56,7 @@ func (r *Report) OK() bool { return len(r.Failures) == 0 }
 func (r *Report) String() string {
 	if r.OK() {
 		return fmt.Sprintf("check: %d cases from seed %d, %d invariants each: all passed",
-			r.Cases, r.Seed, len(Invariants))
+			r.Cases, r.Seed, len(Active()))
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "check: %d cases from seed %d: %d FAILED\n", r.Cases, r.Seed, len(r.Failures))

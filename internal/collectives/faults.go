@@ -1,6 +1,7 @@
 package collectives
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -8,6 +9,11 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stepsim"
 )
+
+// ErrLoss is the sentinel identity of *LossError:
+// errors.Is(err, collectives.ErrLoss) matches any *LossError through
+// arbitrary %w wrapping. Use errors.As to reach the starvation map.
+var ErrLoss = errors.New("collectives: hosts starved by loss")
 
 // LossError is the typed failure of a collective run under a lossy fault
 // plan: this engine does not retransmit (package reliable does), so lost
@@ -21,6 +27,9 @@ type LossError struct {
 	// reduce: packets whose contributions never fully combined there).
 	Missing map[int]int
 }
+
+// Unwrap ties every *LossError to the ErrLoss sentinel.
+func (e *LossError) Unwrap() error { return ErrLoss }
 
 func (e *LossError) Error() string {
 	hosts := make([]int, 0, len(e.Missing))

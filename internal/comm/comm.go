@@ -237,6 +237,90 @@ func (g *Group) BcastLive(root int, data []byte, p sim.Params) (*BcastLiveResult
 	return out, nil
 }
 
+// BcastLiveReliableResult is the outcome of a fault-tolerant broadcast
+// executed on the live runtime: real goroutine NIs behind a (possibly
+// chaos-decorated) transport, real timers driving retransmission and the
+// failure detector, and per-rank reassembled bytes.
+type BcastLiveReliableResult struct {
+	// Data holds, per rank, the delivered message — nil for ranks the
+	// operation could not reach (the root's slot aliases the input).
+	Data [][]byte
+	// Status is the delivery verdict; Undelivered lists the ranks without
+	// the message, ascending (empty when Status == Delivered).
+	Status      reliable.Status
+	Undelivered []int
+	// WallLatency is injection start to the last destination's completion.
+	WallLatency time.Duration
+	// Packets is the message length in wire packets; K the tree fanout.
+	Packets int
+	K       int
+	// Epoch and Views expose the membership plane: the final epoch (0 when
+	// the run never armed the detector) and every installed view.
+	Epoch int
+	Views []membership.View
+	// Protocol is the underlying run detail (retransmissions, epochs,
+	// chaos counters, adoptions, per-host records).
+	Protocol *live.ReliableResult
+}
+
+// BcastLiveReliable broadcasts data from the root rank on the reliable
+// live engine under cfg's fault plane: cfg.Faults seeds transport chaos,
+// cfg.Crashes schedules NI crash-stops (addressed by host — use Host to
+// map a rank), and the retransmission/membership knobs come from cfg as
+// given. p contributes only the packetization size; the runtime knobs
+// live in cfg.Live. Like BcastReliable, the error is the protocol's typed
+// failure and the result is still returned alongside it when the run
+// produced one.
+func (g *Group) BcastLiveReliable(root int, data []byte, p sim.Params, cfg live.ReliableConfig) (*BcastLiveReliableResult, error) {
+	if root < 0 || root >= len(g.hosts) {
+		return nil, fmt.Errorf("comm: root rank %d out of range", root)
+	}
+	id := g.nextMsgID()
+	pkts, err := message.Packetize(id, g.hosts[root], data, p.PacketBytes)
+	if err != nil {
+		return nil, err
+	}
+	dests := make([]int, 0, len(g.hosts)-1)
+	for i, h := range g.hosts {
+		if i != root {
+			dests = append(dests, h)
+		}
+	}
+	spec := core.Spec{Source: g.hosts[root], Dests: dests, Packets: len(pkts), Policy: core.OptimalTree}
+	plan := g.sys.Plan(spec)
+
+	res, err := live.RunReliable(live.Session{Tree: plan.Tree, Packets: pkts, MsgID: id}, cfg)
+	if res == nil {
+		return nil, fmt.Errorf("comm: live reliable broadcast: %w", err)
+	}
+	out := &BcastLiveReliableResult{
+		Data:        make([][]byte, len(g.hosts)),
+		Status:      res.Status,
+		WallLatency: res.Latency,
+		Packets:     res.Packets,
+		K:           plan.K,
+		Epoch:       res.Epoch,
+		Views:       res.Views,
+		Protocol:    res,
+	}
+	out.Data[root] = data
+	for i, h := range g.hosts {
+		if i == root {
+			continue
+		}
+		rec := res.Hosts[h]
+		if rec == nil || rec.Data == nil {
+			out.Undelivered = append(out.Undelivered, i)
+			continue
+		}
+		if !bytes.Equal(rec.Data, data) {
+			return nil, fmt.Errorf("comm: rank %d payload corrupted", i)
+		}
+		out.Data[i] = rec.Data
+	}
+	return out, err
+}
+
 // BcastReliableResult is the outcome of a fault-tolerant broadcast. Unlike
 // Bcast, it is defined under host crashes: instead of hanging or failing
 // opaquely, it reports per-rank delivery, the membership views installed

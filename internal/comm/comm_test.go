@@ -5,8 +5,11 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/live"
+	"repro/internal/live/link"
 	"repro/internal/reliable"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -304,6 +307,104 @@ func TestBcastReliableLossless(t *testing.T) {
 			res.Status, res.Undelivered, len(res.Views))
 	}
 	for r := range res.Data {
+		if !bytes.Equal(res.Data[r], data) {
+			t.Errorf("rank %d payload differs", r)
+		}
+	}
+}
+
+// TestBcastLiveReliableLossy: a seeded lossy transport must not change
+// what the group delivers — every rank ends with the exact payload, and
+// the chaos plane visibly did something (frames dropped, retransmissions
+// paid).
+func TestBcastLiveReliableLossy(t *testing.T) {
+	sys := testSys()
+	g, err := New(sys, []int{0, 5, 9, 23, 44, 51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 500)
+	for i := range data {
+		data[i] = byte(i * 13)
+	}
+	cfg := live.DefaultReliableConfig()
+	cfg.RTO = 5 * time.Millisecond
+	cfg.RTOMax = 40 * time.Millisecond
+	cfg.Faults = link.Faults{
+		Seed:        42,
+		DropRate:    0.10,
+		AckDropRate: 0.05,
+		MaxJitter:   200 * time.Microsecond,
+	}
+	res, err := g.BcastLiveReliable(0, data, sim.DefaultParams(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != reliable.Delivered || len(res.Undelivered) != 0 {
+		t.Fatalf("status=%v undelivered=%v, want clean delivery", res.Status, res.Undelivered)
+	}
+	if res.Epoch != 0 || res.Views != nil {
+		t.Errorf("no crash schedule, but epoch=%d views=%d", res.Epoch, len(res.Views))
+	}
+	for r := range res.Data {
+		if !bytes.Equal(res.Data[r], data) {
+			t.Errorf("rank %d payload differs", r)
+		}
+	}
+	if res.Protocol.Faults.Dropped == 0 || res.Protocol.Retransmits == 0 {
+		t.Errorf("p=0.10 run shows no chaos: %+v retransmits=%d",
+			res.Protocol.Faults, res.Protocol.Retransmits)
+	}
+}
+
+// TestBcastLiveReliableCrash: a crash-stopped NI surfaces as an
+// undelivered rank under quorum 1, with the membership plane's epochs
+// exposed on the result.
+func TestBcastLiveReliableCrash(t *testing.T) {
+	hosts := []int{3, 7, 12, 19, 25, 33}
+	g, err := New(testSys(), hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 300)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	cfg := live.DefaultReliableConfig()
+	cfg.RTO = 10 * time.Millisecond
+	cfg.RTOMax = 80 * time.Millisecond
+	cfg.Quorum = 1
+	// Jitter keeps the protocol in flight long enough for the scheduled
+	// crash to land mid-message (unshaped links finish in microseconds).
+	cfg.Faults = link.Faults{Seed: 7, MaxJitter: 2 * time.Millisecond}
+	cfg.Crashes = []live.HostCrash{{Host: 19, At: 4 * time.Millisecond}}
+	cfg.Heartbeat = live.HeartbeatParams{
+		Every:        3 * time.Millisecond,
+		SuspectAfter: 10 * time.Millisecond,
+		ConfirmAfter: 8 * time.Millisecond,
+		JitterFrac:   0.25,
+	}
+	res, err := g.BcastLiveReliable(0, data, sim.DefaultParams(), cfg)
+	if err != nil {
+		t.Fatalf("quorum 1 must tolerate one crash: %v", err)
+	}
+	if res.Status != reliable.DeliveredPartial {
+		t.Errorf("status %v, want delivered-partial", res.Status)
+	}
+	crashedRank := g.Rank(19)
+	if len(res.Undelivered) != 1 || res.Undelivered[0] != crashedRank {
+		t.Errorf("undelivered ranks %v, want [%d]", res.Undelivered, crashedRank)
+	}
+	if res.Epoch < 2 || len(res.Views) < 2 {
+		t.Errorf("epoch %d with %d views, want at least one view change", res.Epoch, len(res.Views))
+	}
+	for r := range hosts {
+		if r == crashedRank {
+			if res.Data[r] != nil {
+				t.Errorf("crashed rank %d has data", r)
+			}
+			continue
+		}
 		if !bytes.Equal(res.Data[r], data) {
 			t.Errorf("rank %d payload differs", r)
 		}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/live/link"
 	"repro/internal/message"
 )
 
@@ -73,3 +74,32 @@ func BenchmarkLiveConcurrent4Sessions(b *testing.B) {
 		}
 	}
 }
+
+// benchLiveReliable measures the reliable live engine. p = 0 exercises
+// the chaos decorator's pass-through path (the transport is still
+// wrapped: MaxJitter keeps the FaultyTransport in the loop, so the
+// baseline prices the decorator, not just the bare links); p > 0 adds
+// real loss and the retransmission machinery it triggers. The pair's
+// delta in BENCH_sim.json is the measured cost of fault recovery.
+func benchLiveReliable(b *testing.B, dests, packets int, droprate float64) {
+	s := benchSession(b, dests, packets)
+	cfg := DefaultReliableConfig()
+	cfg.Live.Timeout = time.Minute
+	cfg.RTO = 5 * time.Millisecond
+	cfg.RTOMax = 40 * time.Millisecond
+	cfg.Faults = link.Faults{
+		Seed:      9,
+		DropRate:  droprate,
+		MaxJitter: 50 * time.Microsecond,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunReliable(s, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLiveReliable16x8Lossless(b *testing.B) { benchLiveReliable(b, 16, 8, 0) }
+func BenchmarkLiveReliable16x8Drop1pct(b *testing.B) { benchLiveReliable(b, 16, 8, 0.01) }

@@ -28,6 +28,19 @@ import (
 // abort channel closes (watchdog expiry or a peer failure).
 var ErrAborted = errors.New("link: aborted")
 
+// Transport is one directed edge of a live multicast tree: something a
+// sending NI can push wire-format packets into. *Link — an in-process
+// channel with admission reservation — is the reference implementation;
+// FaultyTransport decorates one with a seeded chaos plane. Send may block
+// (backpressure) and must return ErrAborted once abort closes. A Transport
+// is owned by a single sending goroutine; implementations need not be safe
+// for concurrent Sends.
+type Transport interface {
+	From() int
+	To() int
+	Send(payload []byte, abort <-chan struct{}) error
+}
+
 // Frame is one wire-format packet in flight between two NIs.
 type Frame struct {
 	// From is the sending host — the tree edge actually used, recorded by
@@ -39,6 +52,15 @@ type Frame struct {
 	Payload []byte
 
 	readyAt time.Time // latency shaping: earliest delivery instant
+}
+
+// Wait blocks until the frame's latency stamp has elapsed. Receivers that
+// drain the wire channel directly (Wire) instead of through Recv call it
+// before serving the frame, so latency shaping is preserved.
+func (f Frame) Wait() {
+	if wait := time.Until(f.readyAt); wait > 0 {
+		time.Sleep(wait)
+	}
 }
 
 // Gate is a counting semaphore over a receiver NI's packet-buffer slots.
@@ -140,11 +162,14 @@ func (in *Inbox) Recv(abort <-chan struct{}) (f Frame, ok bool) {
 	if !ok {
 		return Frame{}, false
 	}
-	if wait := time.Until(f.readyAt); wait > 0 {
-		time.Sleep(wait)
-	}
+	f.Wait()
 	return f, true
 }
+
+// Wire exposes the receive channel for NIs that must select over frames
+// and control traffic in one loop (the reliable runtime). Callers own the
+// latency stamp: invoke Frame.Wait before serving, and Release after.
+func (in *Inbox) Wire() <-chan Frame { return in.wire }
 
 // Release frees one buffer slot after the NI has fully served a packet
 // (all child copies sent, local delivery done).
@@ -155,7 +180,7 @@ func (in *Inbox) Release() { in.gate.Release() }
 func (in *Inbox) Close() { close(in.wire) }
 
 // Link is a directed edge from one host's NI to another's inbox —
-// one multicast tree edge of one session.
+// one multicast tree edge of one session. It is the reference Transport.
 type Link struct {
 	from    int
 	to      *Inbox
@@ -173,6 +198,8 @@ func New(from int, to *Inbox, latency time.Duration) *Link {
 	}
 	return &Link{from: from, to: to, latency: latency}
 }
+
+var _ Transport = (*Link)(nil)
 
 // From returns the sending host; To the receiving host.
 func (l *Link) From() int { return l.from }

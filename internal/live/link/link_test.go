@@ -1,6 +1,8 @@
 package link
 
 import (
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -191,6 +193,133 @@ func TestCyclicBackpressureDeadlocks(t *testing.T) {
 			}
 		case <-time.After(2 * time.Second):
 			t.Fatal("ring NI still blocked after abort")
+		}
+	}
+}
+
+// Satellite: Gate abort semantics under concurrency — many senders blocked
+// on a full gate, abort closes while others release. No slot may leak and
+// no Release may double-free (which panics).
+func TestGateConcurrentAbortNoSlotLeak(t *testing.T) {
+	const slots, senders = 4, 32
+	g := NewGate(slots)
+	for i := 0; i < slots; i++ {
+		if !g.TryAcquire() {
+			t.Fatal("gate should start empty")
+		}
+	}
+	abort := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, senders)
+	for i := 0; i < senders; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- g.Acquire(abort)
+		}()
+	}
+	time.Sleep(10 * time.Millisecond) // let every sender block on the full gate
+	close(abort)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != ErrAborted {
+			t.Fatalf("blocked Acquire on a full gate returned %v, want ErrAborted", err)
+		}
+	}
+	// No leak: after releasing the original holders, exactly `slots` slots
+	// are acquirable — not one more, not one fewer.
+	for i := 0; i < slots; i++ {
+		g.Release()
+	}
+	for i := 0; i < slots; i++ {
+		if !g.TryAcquire() {
+			t.Fatalf("slot %d leaked after concurrent abort", i)
+		}
+	}
+	if g.TryAcquire() {
+		t.Fatal("aborted Acquire left a phantom slot")
+	}
+}
+
+// The racy variant: releases and the abort fire concurrently, so some
+// blocked senders win a slot and some abort. Accounting must balance
+// exactly and never double-release.
+func TestGateAbortRaceWithReleases(t *testing.T) {
+	const slots, senders = 2, 24
+	g := NewGate(slots)
+	for i := 0; i < slots; i++ {
+		g.TryAcquire()
+	}
+	abort := make(chan struct{})
+	var wg sync.WaitGroup
+	var won atomic.Int64
+	for i := 0; i < senders; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if g.Acquire(abort) == nil {
+				won.Add(1)
+			}
+		}()
+	}
+	go func() {
+		for i := 0; i < slots; i++ {
+			g.Release() // hand the initial slots to blocked senders
+		}
+	}()
+	time.Sleep(5 * time.Millisecond)
+	close(abort)
+	wg.Wait()
+	// Every winner holds a real slot: release them all, then the gate must
+	// hold exactly `slots` free slots again.
+	for i := int64(0); i < won.Load(); i++ {
+		g.Release()
+	}
+	for i := 0; i < slots; i++ {
+		if !g.TryAcquire() {
+			t.Fatalf("slot %d leaked (won=%d)", i, won.Load())
+		}
+	}
+	if g.TryAcquire() {
+		t.Fatal("phantom slot after abort race")
+	}
+}
+
+// Senders blocked inside Link.Send (gate full) must all come back with
+// ErrAborted or success when abort races the receiver's drain loop.
+func TestSendAbortWhileBlocked(t *testing.T) {
+	in := NewInbox(9, 2, 2)
+	abort := make(chan struct{})
+	const senders = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, senders)
+	for i := 0; i < senders; i++ {
+		l := New(100+i, in, 0)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- l.Send([]byte{1}, abort)
+		}()
+	}
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		close(abort)
+	}()
+	// Drain like an NI until the abort lands.
+	for {
+		f, ok := in.Recv(abort)
+		if !ok {
+			break
+		}
+		_ = f
+		in.Release()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil && err != ErrAborted {
+			t.Fatalf("Send returned %v", err)
 		}
 	}
 }

@@ -26,8 +26,10 @@
 package live
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/live/link"
@@ -140,16 +142,31 @@ type Result struct {
 	Events []sim.TraceEvent
 }
 
+// ErrWatchdog is the sentinel every *WatchdogError unwraps to, so callers
+// can classify with errors.Is without holding the concrete type.
+var ErrWatchdog = errors.New("live: watchdog timeout")
+
+// DestProgress is one stuck destination's delivery progress at the moment
+// the watchdog fired: distinct packets held versus the message total.
+type DestProgress struct {
+	Host, Received, Expected int
+}
+
 // WatchdogError reports a run the watchdog had to abort: the sessions
-// and destinations still incomplete when the timeout fired. A single
-// tree cannot deadlock under FPFS backpressure, so on one session this
-// means a genuine runtime bug; with overlapping bounded-buffer sessions
-// it may be the documented store-and-forward credit cycle.
+// and destinations still incomplete when the timeout fired, each with its
+// packet-level progress so a stuck run is diagnosable (a destination at
+// 0/m never heard from its parent; one at m-1/m lost a single packet). A
+// single tree cannot deadlock under FPFS backpressure, so on one session
+// this means a genuine runtime bug; with overlapping bounded-buffer
+// sessions it may be the documented store-and-forward credit cycle.
 type WatchdogError struct {
 	Timeout time.Duration
 	// Missing is, per session index, the destination hosts that had not
 	// acknowledged, ascending.
 	Missing map[int][]int
+	// Progress mirrors Missing with per-destination packet counts,
+	// snapshotted after teardown (so the counts are race-free and final).
+	Progress map[int][]DestProgress
 }
 
 func (e *WatchdogError) Error() string {
@@ -157,9 +174,27 @@ func (e *WatchdogError) Error() string {
 	for _, hs := range e.Missing {
 		total += len(hs)
 	}
-	return fmt.Sprintf("live: watchdog after %v: %d destination(s) incomplete %v",
+	msg := fmt.Sprintf("live: watchdog after %v: %d destination(s) incomplete %v",
 		e.Timeout, total, e.Missing)
+	var sis []int
+	for si := range e.Progress {
+		sis = append(sis, si)
+	}
+	sort.Ints(sis)
+	var stuck []string
+	for _, si := range sis {
+		for _, p := range e.Progress[si] {
+			stuck = append(stuck, fmt.Sprintf("s%d h%d %d/%d", si, p.Host, p.Received, p.Expected))
+		}
+	}
+	if len(stuck) > 0 {
+		msg += " (progress: " + strings.Join(stuck, ", ") + ")"
+	}
+	return msg
 }
+
+// Unwrap makes errors.Is(err, ErrWatchdog) match through wrapping.
+func (e *WatchdogError) Unwrap() error { return ErrWatchdog }
 
 // ack is one destination's completion report.
 type ack struct {
@@ -231,6 +266,7 @@ func Run(sessions []Session, cfg Config) (*Result, error) {
 		got[i] = map[int]ack{}
 	}
 	var runErr error
+	timedOut := false
 	for n := 0; n < totalDests; n++ {
 		select {
 		case a := <-rt.acks:
@@ -239,15 +275,30 @@ func Run(sessions []Session, cfg Config) (*Result, error) {
 		case err := <-rt.fail:
 			runErr = err
 		case <-timer.C:
-			runErr = watchdogError(rt, got)
+			timedOut = true
 		}
 		break
 	}
 	wall := time.Since(rt.start)
 
-	if runErr != nil {
+	if runErr != nil || timedOut {
 		close(rt.abort)
 		wg.Wait()
+		if runErr == nil {
+			// Count ACKs that raced the timeout, then snapshot progress —
+			// after Wait the NI state is quiescent, so the per-destination
+			// counters in the error are exact.
+			for {
+				select {
+				case a := <-rt.acks:
+					got[a.sess][a.host] = a
+					continue
+				default:
+				}
+				break
+			}
+			runErr = watchdogError(rt, nis, got)
+		}
 		return nil, runErr
 	}
 	// Every destination has acknowledged, which implies every injected
@@ -265,9 +316,15 @@ func Run(sessions []Session, cfg Config) (*Result, error) {
 	return assemble(rt, nis, got, wall), nil
 }
 
-// watchdogError snapshots the incomplete destinations at timeout.
-func watchdogError(rt *runtime, got []map[int]ack) *WatchdogError {
-	e := &WatchdogError{Timeout: rt.cfg.Timeout, Missing: map[int][]int{}}
+// watchdogError snapshots the incomplete destinations at timeout, with
+// per-destination packet progress. Callers must only invoke it after the
+// NI WaitGroup has drained.
+func watchdogError(rt *runtime, nis map[int]*ni, got []map[int]ack) *WatchdogError {
+	e := &WatchdogError{
+		Timeout:  rt.cfg.Timeout,
+		Missing:  map[int][]int{},
+		Progress: map[int][]DestProgress{},
+	}
 	for si, s := range rt.sessions {
 		for _, v := range s.Tree.Nodes() {
 			if v == s.Tree.Root() {
@@ -278,6 +335,15 @@ func watchdogError(rt *runtime, got []map[int]ack) *WatchdogError {
 			}
 		}
 		sort.Ints(e.Missing[si])
+		for _, v := range e.Missing[si] {
+			held := 0
+			if ns := nis[v].sessions[s.MsgID]; ns.reasm != nil {
+				held, _ = ns.reasm.Progress()
+			}
+			e.Progress[si] = append(e.Progress[si], DestProgress{
+				Host: v, Received: held, Expected: len(s.Packets),
+			})
+		}
 	}
 	return e
 }

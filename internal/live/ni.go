@@ -18,7 +18,7 @@ import (
 type niSession struct {
 	index    int                  // session index in the run
 	m        int                  // packets in the message
-	links    []*link.Link         // child links in tree send order
+	links    []link.Transport     // child transports in tree send order
 	reasm    *message.Reassembler // nil at the root
 	arrivals []Arrival
 	sends    int

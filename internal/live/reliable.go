@@ -1,0 +1,882 @@
+package live
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/live/link"
+	"repro/internal/membership"
+	"repro/internal/message"
+	"repro/internal/reliable"
+	"repro/internal/tree"
+	"repro/internal/workload"
+)
+
+// This file is the live port of internal/reliable: the same protocol —
+// per-edge retransmission with capped backoff+jitter, duplicate
+// suppression, heartbeat-driven membership with epoch fencing, and
+// Fig.-11 subtree adoption — executed by real goroutines over (possibly
+// faulty) transports instead of the virtual-clock event engine.
+//
+// Concurrency layout (strict ownership, like the lossless engine):
+//   - one NI goroutine per host: drains the inbox, dedups, ACKs,
+//     forwards novel packets to its child edges, reassembles, heartbeats;
+//   - one sender goroutine per live tree edge: owns the edge's pending
+//     set and retransmission timers, sends serially in sequence order;
+//   - the supervisor (RunReliable's goroutine): owns the tree shape, the
+//     membership detector, adoption/repair, and termination.
+// The only cross-goroutine mutable cell is the global epoch register
+// (an atomic), written by the supervisor on view changes and read by
+// senders (stamping) and receivers (fencing). All other coordination is
+// by channel.
+
+// HostCrash schedules a crash-stop of one host's NI goroutine at a
+// wall-clock offset from run start: from At on the NI silently eats every
+// frame addressed to it (releasing buffer slots so senders never wedge),
+// stops heartbeating and acknowledging, and its outgoing sends vanish. If
+// RecoverAt > At the host rejoins at RecoverAt amnesiac — reassembly and
+// dedup state lost — and is re-adopted with a full replay; RecoverAt == 0
+// means it never comes back.
+type HostCrash struct {
+	Host      int
+	At        time.Duration
+	RecoverAt time.Duration
+}
+
+// CrashStop reports whether the crash is permanent.
+func (c HostCrash) CrashStop() bool { return c.RecoverAt == 0 }
+
+// HeartbeatParams sets the live failure detector's wall-clock timing; the
+// detector itself is the pure state machine of internal/membership.
+type HeartbeatParams struct {
+	Every        time.Duration // heartbeat period per host
+	SuspectAfter time.Duration // silence before suspicion
+	ConfirmAfter time.Duration // further silence before crash confirmation
+	JitterFrac   float64       // per-member timeout widening
+}
+
+// ReliableConfig tunes one RunReliable execution.
+type ReliableConfig struct {
+	// Live carries the base runtime knobs: BufferPackets, LinkLatency and
+	// the watchdog Timeout (the liveness backstop of the whole protocol).
+	Live Config
+	// Faults is the transport chaos plane (zero = lossless edges).
+	Faults link.Faults
+	// Crashes schedules NI crash-stops; a non-empty schedule arms the
+	// membership plane (heartbeats, epochs, fencing, adoption).
+	Crashes []HostCrash
+	// RTO is the base retransmission timeout; it doubles per attempt up to
+	// RTOMax, widened by seeded jitter.
+	RTO, RTOMax time.Duration
+	// RetryBudget is the maximum retransmissions per (edge incarnation,
+	// packet) before the edge is declared dead and its subtree repaired or
+	// orphaned.
+	RetryBudget int
+	// MaxRegrafts bounds adoptions per destination before abandonment.
+	MaxRegrafts int
+	// Quorum is the minimum completing destinations for a crash-shortened
+	// run to count as DeliveredPartial (<= 0: all destinations required).
+	Quorum int
+	// Heartbeat parameterizes the failure detector; consulted only when
+	// Crashes is non-empty.
+	Heartbeat HeartbeatParams
+}
+
+// DefaultReliableConfig returns wall-clock defaults: RTO comfortably
+// above scheduler noise, a detector that confirms in tens of
+// milliseconds.
+func DefaultReliableConfig() ReliableConfig {
+	return ReliableConfig{
+		RTO:         25 * time.Millisecond,
+		RTOMax:      200 * time.Millisecond,
+		RetryBudget: 8,
+		MaxRegrafts: 4,
+		Heartbeat: HeartbeatParams{
+			Every:        5 * time.Millisecond,
+			SuspectAfter: 16 * time.Millisecond,
+			ConfirmAfter: 12 * time.Millisecond,
+			JitterFrac:   0.25,
+		},
+	}
+}
+
+// validate rejects a malformed configuration.
+func (cfg ReliableConfig) validate() error {
+	if err := cfg.Faults.Validate(); err != nil {
+		return err
+	}
+	if cfg.RTO <= 0 || cfg.RTOMax < cfg.RTO {
+		return fmt.Errorf("live: invalid RTO %v / cap %v", cfg.RTO, cfg.RTOMax)
+	}
+	if cfg.RetryBudget < 1 || cfg.MaxRegrafts < 1 {
+		return fmt.Errorf("live: retry budget %d / regraft bound %d must be >= 1",
+			cfg.RetryBudget, cfg.MaxRegrafts)
+	}
+	seen := map[int]bool{}
+	for _, c := range cfg.Crashes {
+		if c.Host < 0 || c.At < 0 {
+			return fmt.Errorf("live: invalid crash %+v", c)
+		}
+		if c.RecoverAt != 0 && c.RecoverAt <= c.At {
+			return fmt.Errorf("live: host %d recovery %v not after crash %v", c.Host, c.RecoverAt, c.At)
+		}
+		if seen[c.Host] {
+			return fmt.Errorf("live: host %d crashed more than once", c.Host)
+		}
+		seen[c.Host] = true
+	}
+	if len(cfg.Crashes) > 0 {
+		hb := cfg.Heartbeat
+		if hb.Every <= 0 || hb.SuspectAfter <= hb.Every || hb.ConfirmAfter <= 0 {
+			return fmt.Errorf("live: invalid heartbeat params %+v", hb)
+		}
+	}
+	return nil
+}
+
+// EpochAccept is one novel packet acceptance while the membership plane
+// was armed: which epoch the packet traveled under, per receiving host.
+type EpochAccept struct {
+	Host, Packet, Epoch int
+	At                  time.Duration
+}
+
+// ReliableResult reports one RunReliable execution. Like the simulator's
+// reliable.Result it is returned alongside *CrashError/*DeliveryError, so
+// callers can inspect partial outcomes.
+type ReliableResult struct {
+	// Status is the delivery verdict, with the simulator's semantics.
+	Status reliable.Status
+	// Hosts holds a record per tree node (Data nil for the root and for
+	// destinations that never completed).
+	Hosts map[int]*HostRecord
+	// Latency is run start to the last completing destination; Wall is run
+	// start to teardown.
+	Latency, Wall time.Duration
+	Packets       int
+	// Sends counts data-frame injections; Retransmits of those were repeat
+	// attempts. Duplicates were suppressed by receivers, Fenced discarded
+	// for stale epochs (data and ACKs).
+	Sends, Retransmits, Duplicates, Fenced int
+	// Adoptions counts subtree re-grafts (crash adoption, recovery
+	// re-admission, and loss/kill repair).
+	Adoptions int
+	// Epoch is the final membership epoch (0 when never armed); Views the
+	// installed epoch-numbered views.
+	Epoch int
+	Views []membership.View
+	// Crashed lists hosts down at teardown; Orphaned destinations left
+	// without the full payload, ascending.
+	Crashed, Orphaned []int
+	// Accepts is the epoch-stamp trace of novel acceptances (armed runs).
+	Accepts []EpochAccept
+	// Faults snapshots the chaos plane's counters; CrashDrops counts
+	// frames eaten by a down NI.
+	Faults     link.ChaosStats
+	CrashDrops int
+}
+
+// rctl is a message to the supervisor.
+type rctl struct {
+	kind rctlKind
+	host int // beat/done: reporting host; exhausted: sending endpoint
+	to   int // exhausted: receiving endpoint
+	at   time.Duration
+	data []byte // done: reassembled payload
+}
+
+type rctlKind int
+
+const (
+	ctlBeat rctlKind = iota
+	ctlDone
+	ctlExhausted
+	// ctlRejoin: an NI served its first frame after a crash window and wiped
+	// its state. The supervisor must re-graft it on a fresh edge with a full
+	// replay: its old parent edge holds pre-crash ACKs for packets the crash
+	// erased, and plain retransmission would never resend those.
+	ctlRejoin
+)
+
+// doneRec is one destination's latest completion report.
+type doneRec struct {
+	at   time.Duration
+	data []byte
+}
+
+// rrt is the shared state of one reliable run.
+type rrt struct {
+	cfg   ReliableConfig
+	s     Session
+	m     int // packets
+	k     int // fanout of the original plan, reused by Fig.-11 regrafts
+	root  int
+	start time.Time
+	abort chan struct{}
+	ctl   chan rctl
+	chaos *link.Chaos
+	// epoch is the global fence register: 0 while the membership plane is
+	// unarmed, otherwise the latest installed view's epoch. Senders stamp
+	// it into outgoing frames; receivers discard frames below it. Only the
+	// supervisor stores; the value never decreases.
+	epoch atomic.Int64
+	wg    sync.WaitGroup
+
+	crashAt, recoverAt map[int]time.Duration
+
+	// Supervisor-owned (no other goroutine touches these after start):
+	nis      map[int]*rni
+	edges    map[[2]int]*redge
+	allEdges []*redge
+	parent   map[int]int
+	children map[int][]int
+	done     map[int]doneRec
+	// deadPairs counts exhausted/killed directed transport incarnations;
+	// regrafts route around them (root fallback) instead of replaying a
+	// dead pair forever.
+	deadPairs map[[2]int]int
+	regrafts  map[int]int
+	abandoned map[int]bool
+	det       *membership.Detector
+	views     []membership.View
+	adoptions int
+	rootDown  bool
+}
+
+// down reports whether host h is inside its scheduled crash window at
+// offset t. It is called from NI and sender goroutines; the schedule maps
+// are immutable after start.
+func (rt *rrt) down(h int, t time.Duration) bool {
+	at, ok := rt.crashAt[h]
+	if !ok || t < at {
+		return false
+	}
+	rec, ok := rt.recoverAt[h]
+	return !ok || t < rec
+}
+
+// us converts a wall offset to the detector's float microseconds.
+func us(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+// RunReliable executes one session under the reliable protocol and the
+// configured fault plane, blocking until every awaited destination has
+// the full payload, the quorum verdict is settled, or the watchdog fires.
+// Like reliable.Deliver it returns the result alongside a typed error
+// (*reliable.CrashError, *reliable.DeliveryError) on shortfalls; a
+// *WatchdogError (nil result) means the protocol itself stalled.
+func RunReliable(s Session, cfg ReliableConfig) (*ReliableResult, error) {
+	if err := s.validate(0); err != nil {
+		return nil, err
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Live.BufferPackets < 0 {
+		return nil, fmt.Errorf("live: negative buffer bound %d", cfg.Live.BufferPackets)
+	}
+	if cfg.Live.Timeout <= 0 {
+		cfg.Live.Timeout = DefaultTimeout
+	}
+	chaos, err := link.NewChaos(cfg.Faults)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range cfg.Crashes {
+		if !s.Tree.Contains(c.Host) {
+			return nil, fmt.Errorf("live: crash of host %d outside the tree", c.Host)
+		}
+	}
+
+	rt := &rrt{
+		cfg:       cfg,
+		s:         s,
+		m:         len(s.Packets),
+		k:         s.Tree.MaxDegree(),
+		root:      s.Tree.Root(),
+		abort:     make(chan struct{}),
+		chaos:     chaos,
+		crashAt:   map[int]time.Duration{},
+		recoverAt: map[int]time.Duration{},
+		nis:       map[int]*rni{},
+		edges:     map[[2]int]*redge{},
+		parent:    map[int]int{},
+		children:  map[int][]int{},
+		deadPairs: map[[2]int]int{},
+		regrafts:  map[int]int{},
+		abandoned: map[int]bool{},
+		done:      map[int]doneRec{},
+	}
+	rt.ctl = make(chan rctl, 8*s.Tree.Size()+64)
+	for _, c := range cfg.Crashes {
+		rt.crashAt[c.Host] = c.At
+		if c.RecoverAt > 0 {
+			rt.recoverAt[c.Host] = c.RecoverAt
+		}
+	}
+
+	armed := len(cfg.Crashes) > 0
+	if armed {
+		hb := cfg.Heartbeat
+		det, err := membership.New(membership.Config{
+			HeartbeatEvery: us(hb.Every),
+			SuspectAfter:   us(hb.SuspectAfter),
+			ConfirmAfter:   us(hb.ConfirmAfter),
+			JitterFrac:     hb.JitterFrac,
+			Seed:           cfg.Faults.Seed ^ 0xD1B5_4A32_D192_ED03,
+		}, s.Tree.Nodes(), 0)
+		if err != nil {
+			return nil, err
+		}
+		rt.det = det
+		rt.epoch.Store(int64(det.Epoch()))
+		rt.views = append(rt.views, det.View())
+	}
+
+	rt.buildReliableFabric()
+	rt.start = time.Now()
+	chaos.Start(rt.start)
+	for _, n := range rt.nis {
+		rt.wg.Add(1)
+		go func(n *rni) { defer rt.wg.Done(); n.run() }(n)
+	}
+	for _, e := range rt.allEdges {
+		rt.wg.Add(1)
+		go func(e *redge) { defer rt.wg.Done(); e.run() }(e)
+	}
+	return rt.supervise()
+}
+
+// buildReliableFabric constructs NIs for every tree node and sender
+// goroutines for every tree edge. The root's NI starts holding all m
+// packets, so edge seeding is uniform: every NI replays its held packets
+// into a newly attached child edge, packet-major like FPFS injection.
+func (rt *rrt) buildReliableFabric() {
+	slots := rt.cfg.Live.BufferPackets
+	for _, v := range rt.s.Tree.Nodes() {
+		capacity := 4*rt.m + 16
+		if slots > 0 {
+			capacity = slots
+		}
+		n := &rni{
+			rt:      rt,
+			host:    v,
+			inbox:   link.NewInbox(v, capacity, slots),
+			ctl:     make(chan niCtl, 16),
+			parents: map[int]*redge{},
+			got:     make([]bool, rt.m),
+			ackRNG:  rt.chaos.AckRNG(v),
+		}
+		if v == rt.root {
+			for j := range n.got {
+				n.got[j] = true
+			}
+			n.completed = true
+		} else {
+			n.reasm = message.NewReassembler()
+		}
+		rt.nis[v] = n
+		rt.parent[v] = -1
+	}
+	for _, e := range rt.s.Tree.Edges() {
+		rt.newEdge(e.Parent, e.Child, true)
+	}
+	// Initial children are wired statically (the NI goroutines have not
+	// started), sorted for a deterministic packet-major seeding order.
+	for _, n := range rt.nis {
+		sort.Slice(n.childEdges, func(i, j int) bool { return n.childEdges[i].to < n.childEdges[j].to })
+	}
+}
+
+// newEdge creates one directed edge incarnation: transport (chaos-
+// wrapped), sender goroutine state, and supervisor bookkeeping. static
+// edges are wired into the NI structs directly (pre-start); dynamic ones
+// are announced over NI control channels by the caller.
+func (rt *rrt) newEdge(a, b int, static bool) *redge {
+	tr := rt.chaos.Wrap(link.New(a, rt.nis[b].inbox, rt.cfg.Live.LinkLatency))
+	e := &redge{
+		rt:     rt,
+		from:   a,
+		to:     b,
+		tr:     tr,
+		in:     make(chan int, 2*rt.m+8),
+		acks:   make(chan rack, 4*rt.m+16),
+		cancel: make(chan struct{}),
+		acked:  make([]bool, rt.m),
+		jrng:   workload.NewRNG(rt.cfg.Faults.Seed ^ 0x9e6c_a61b_60ca_77d5 ^ uint64(a+1)<<20 ^ uint64(b+1)),
+	}
+	rt.edges[[2]int{a, b}] = e
+	rt.allEdges = append(rt.allEdges, e)
+	rt.parent[b] = a
+	rt.children[a] = append(rt.children[a], b)
+	if static {
+		rt.nis[a].childEdges = append(rt.nis[a].childEdges, e)
+		rt.nis[b].parents[a] = e
+	}
+	return e
+}
+
+// supervise is the supervisor loop: collect heartbeats, completions and
+// edge exhaustions; advance the failure detector; adopt, repair, or
+// abandon; finish on an empty wait set, root crash, or watchdog expiry.
+func (rt *rrt) supervise() (*ReliableResult, error) {
+	// Destinations awaited for termination: every destination except those
+	// scheduled to crash-stop (they can never complete; recovery-scheduled
+	// hosts are awaited — the protocol must replay them to completion).
+	wait := map[int]bool{}
+	for _, v := range rt.s.Tree.Nodes() {
+		if v == rt.root {
+			continue
+		}
+		if _, crashed := rt.crashAt[v]; crashed {
+			if _, rec := rt.recoverAt[v]; !rec {
+				continue
+			}
+		}
+		wait[v] = true
+	}
+	done := rt.done
+
+	watchdog := time.NewTimer(rt.cfg.Live.Timeout)
+	defer watchdog.Stop()
+	detTimer := time.NewTimer(time.Hour)
+	defer detTimer.Stop()
+
+	// creditRoot marks the root alive right before any detector judgment.
+	// The supervisor is the root's protocol brain: if it is running this
+	// code the root is alive (unless its crash is actually scheduled).
+	// Witness skips the silence judgment Heartbeat would apply first — on a
+	// loaded box a scheduling burst must not confirm the root and fail the
+	// whole run spuriously.
+	creditRoot := func() {
+		now := time.Since(rt.start)
+		if !rt.down(rt.root, now) {
+			rt.handleEvents(rt.det.Witness(rt.root, us(now)))
+		}
+	}
+
+	handleCtl := func(c rctl) {
+		switch c.kind {
+		case ctlBeat:
+			if rt.det != nil {
+				creditRoot()
+				if c.host != rt.root { // the credit already counted, at a fresher instant
+					rt.handleEvents(rt.det.Heartbeat(c.host, us(c.at)))
+				}
+			}
+		case ctlDone:
+			prev, seen := done[c.host]
+			if !seen || c.at > prev.at {
+				done[c.host] = doneRec{at: c.at, data: c.data}
+			}
+			delete(wait, c.host)
+		case ctlExhausted:
+			rt.exhausted(c.host, c.to)
+		case ctlRejoin:
+			// If the detector already confirmed the crash, its beat-driven
+			// Rejoined event re-admits the host with a fresh subtree; grafting
+			// here too would just double the churn.
+			if rt.det != nil && rt.det.Phase(c.host) != membership.Crashed {
+				rt.graft(rt.liveAncestor(c.host), []int{c.host})
+			}
+		}
+	}
+
+	timedOut := false
+	for len(wait) > 0 && !rt.rootDown {
+		// (Re)arm the detector timer at its next deadline.
+		wake := time.Hour
+		if rt.det != nil {
+			if dl, ok := rt.det.NextDeadline(); ok {
+				wake = time.Duration(dl*float64(time.Microsecond)) - time.Since(rt.start)
+				if wake < 0 {
+					wake = 0
+				}
+			}
+		}
+		if !detTimer.Stop() {
+			select {
+			case <-detTimer.C:
+			default:
+			}
+		}
+		detTimer.Reset(wake)
+
+		select {
+		case c := <-rt.ctl:
+			handleCtl(c)
+		case <-detTimer.C:
+			if rt.det != nil {
+				// Queued heartbeats must land before silence is judged: a
+				// scheduling burst (GC, single-CPU contention) can expire the
+				// timer with fresh beats still in the channel, and advancing
+				// first would confirm hosts that are provably alive.
+				for drained := false; !drained; {
+					select {
+					case c := <-rt.ctl:
+						handleCtl(c)
+					default:
+						drained = true
+					}
+				}
+				creditRoot()
+				rt.handleEvents(rt.det.Advance(us(time.Since(rt.start))))
+			}
+		case <-watchdog.C:
+			timedOut = true
+		}
+		if timedOut {
+			break
+		}
+		// Adoption may have abandoned awaited destinations.
+		for v := range wait {
+			if rt.abandoned[v] {
+				delete(wait, v)
+			}
+		}
+	}
+	wall := time.Since(rt.start)
+	close(rt.abort)
+	rt.wg.Wait()
+	// Completions that raced the verdict still count.
+	for {
+		select {
+		case c := <-rt.ctl:
+			if c.kind == ctlDone {
+				if prev, seen := done[c.host]; !seen || c.at > prev.at {
+					done[c.host] = doneRec{at: c.at, data: c.data}
+				}
+				delete(wait, c.host)
+			}
+			continue
+		default:
+		}
+		break
+	}
+
+	if timedOut {
+		e := &WatchdogError{
+			Timeout:  rt.cfg.Live.Timeout,
+			Missing:  map[int][]int{},
+			Progress: map[int][]DestProgress{},
+		}
+		for _, v := range rt.s.Tree.Nodes() {
+			if v == rt.root {
+				continue
+			}
+			if _, ok := done[v]; ok {
+				continue
+			}
+			e.Missing[0] = append(e.Missing[0], v)
+		}
+		sort.Ints(e.Missing[0])
+		for _, v := range e.Missing[0] {
+			held := 0
+			for _, g := range rt.nis[v].got {
+				if g {
+					held++
+				}
+			}
+			e.Progress[0] = append(e.Progress[0], DestProgress{Host: v, Received: held, Expected: rt.m})
+		}
+		return nil, e
+	}
+
+	// Assemble the result (all goroutines quiescent: reads are race-free).
+	res := &ReliableResult{
+		Status:    reliable.Delivered,
+		Hosts:     map[int]*HostRecord{},
+		Wall:      wall,
+		Packets:   rt.m,
+		Faults:    rt.chaos.Stats(),
+		Views:     rt.views,
+		Adoptions: rt.adoptions,
+	}
+	if rt.det != nil {
+		res.Epoch = rt.det.Epoch()
+	}
+	sendsBy := map[int]int{}
+	for _, e := range rt.allEdges {
+		res.Sends += e.sends
+		res.Retransmits += e.retransmits
+		res.Fenced += e.fenced
+		sendsBy[e.from] += e.sends
+	}
+	dests := 0
+	for _, v := range rt.s.Tree.Nodes() {
+		n := rt.nis[v]
+		rec := &HostRecord{
+			Host:     v,
+			Arrivals: n.arrivals,
+			Sends:    sendsBy[v],
+			Recvs:    n.recvs,
+		}
+		res.Duplicates += n.dups
+		res.Fenced += n.fenced
+		res.CrashDrops += n.crashDrops
+		res.Accepts = append(res.Accepts, n.accepts...)
+		if v != rt.root {
+			dests++
+			if d, ok := done[v]; ok {
+				rec.Data = d.data
+				rec.DoneAt = d.at
+				if d.at > res.Latency {
+					res.Latency = d.at
+				}
+			} else {
+				res.Orphaned = append(res.Orphaned, v)
+			}
+		}
+		res.Hosts[v] = rec
+	}
+	sort.Ints(res.Orphaned)
+	// Stable: accepts arrive grouped per host in goroutine order, and ties
+	// on At must not reorder a host's own chronology (epoch monotonicity
+	// per host is an invariant the harness checks).
+	sort.SliceStable(res.Accepts, func(i, j int) bool { return res.Accepts[i].At < res.Accepts[j].At })
+	for h := range rt.crashAt {
+		if rt.down(h, wall) {
+			res.Crashed = append(res.Crashed, h)
+		}
+	}
+	sort.Ints(res.Crashed)
+
+	delivered := dests - len(res.Orphaned)
+	quorum := rt.cfg.Quorum
+	if quorum <= 0 || quorum > dests {
+		quorum = dests
+	}
+	switch {
+	case rt.rootDown:
+		res.Status = reliable.Failed
+		return res, &reliable.CrashError{
+			Crashed: res.Crashed, Undelivered: res.Orphaned,
+			Delivered: delivered, Quorum: quorum, Epoch: res.Epoch, RootCrashed: true,
+		}
+	case len(res.Orphaned) == 0:
+		res.Status = reliable.Delivered
+		return res, nil
+	case rt.det == nil:
+		res.Status = reliable.Failed
+		return res, &reliable.DeliveryError{Orphaned: res.Orphaned}
+	case delivered >= quorum:
+		res.Status = reliable.DeliveredPartial
+		return res, nil
+	default:
+		res.Status = reliable.Failed
+		return res, &reliable.CrashError{
+			Crashed: res.Crashed, Undelivered: res.Orphaned,
+			Delivered: delivered, Quorum: quorum, Epoch: res.Epoch,
+		}
+	}
+}
+
+// handleEvents folds a batch of detector events into the runtime: epoch
+// register, view log, adoption on confirmation, re-admission on rejoin.
+func (rt *rrt) handleEvents(evs []membership.Event) {
+	for _, ev := range evs {
+		switch ev.Kind {
+		case membership.Confirmed:
+			rt.epoch.Store(int64(ev.Epoch))
+			if ev.Host == rt.root {
+				rt.rootDown = true
+				return
+			}
+			rt.adoptAfterConfirm(ev.Host)
+		case membership.Rejoined:
+			rt.epoch.Store(int64(ev.Epoch))
+			// Re-admit under the root with a full replay: the rejoined host
+			// is amnesiac (or was falsely confirmed and needs a live parent
+			// again either way).
+			rt.graft(rt.root, []int{ev.Host})
+		}
+	}
+	if len(rt.views) > 0 && rt.det.Epoch() > rt.views[len(rt.views)-1].Epoch {
+		rt.views = append(rt.views, rt.det.View())
+	}
+}
+
+// adoptAfterConfirm handles a confirmed crash: the dead host's edges are
+// cancelled and its incomplete live descendants re-grafted under its
+// nearest live ancestor via the Fig.-11 construction.
+func (rt *rrt) adoptAfterConfirm(h int) {
+	adopter := rt.liveAncestor(h)
+	orphans := rt.incompleteSubtree(h)
+	rt.killEdgesInto(h)
+	rt.killEdgesOutOf(h)
+	var keep []int
+	now := time.Since(rt.start)
+	for _, v := range orphans {
+		if v == h || rt.down(v, now) || rt.abandoned[v] {
+			continue // the dead host itself, and down descendants, rejoin later
+		}
+		keep = append(keep, v)
+	}
+	rt.graft(adopter, keep)
+}
+
+// liveAncestor walks up from h to the nearest ancestor still in the
+// current view (the root is always a member unless rootDown fired).
+func (rt *rrt) liveAncestor(h int) int {
+	members := map[int]bool{}
+	for _, m := range rt.det.View().Members {
+		members[m] = true
+	}
+	v := rt.parent[h]
+	for v >= 0 && v != rt.root && !members[v] {
+		v = rt.parent[v]
+	}
+	if v < 0 {
+		return rt.root
+	}
+	return v
+}
+
+// incompleteSubtree collects the nodes in the subtree currently rooted at
+// h, h included, preorder over the supervisor's tree shape.
+func (rt *rrt) incompleteSubtree(h int) []int {
+	var out []int
+	var walk func(u int)
+	walk = func(u int) {
+		out = append(out, u)
+		for _, c := range rt.children[u] {
+			walk(c)
+		}
+	}
+	walk(h)
+	return out
+}
+
+// killEdgesInto / killEdgesOutOf retire edge incarnations around a dead
+// or re-parented host. Cancelled senders exit at their next select; the
+// receiving NI keeps a stale ack route harmlessly (the channel is
+// buffered and unread).
+func (rt *rrt) killEdgesInto(h int) {
+	if p := rt.parent[h]; p >= 0 {
+		rt.killEdge(p, h)
+	}
+}
+
+func (rt *rrt) killEdgesOutOf(h int) {
+	for _, c := range append([]int(nil), rt.children[h]...) {
+		rt.killEdge(h, c)
+	}
+}
+
+// killEdge retires one live edge incarnation.
+func (rt *rrt) killEdge(a, b int) {
+	key := [2]int{a, b}
+	e, ok := rt.edges[key]
+	if !ok {
+		return
+	}
+	delete(rt.edges, key)
+	close(e.cancel)
+	for i, c := range rt.children[a] {
+		if c == b {
+			rt.children[a] = append(rt.children[a][:i], rt.children[a][i+1:]...)
+			break
+		}
+	}
+	rt.parent[b] = -1
+	rt.niCtl(a, niCtl{kind: niDelChild, child: b})
+}
+
+// graft re-parents the orphans onto a fresh k-binomial subtree under
+// adopter — the paper's Fig.-11 contention-free construction over the
+// survivors (ascending order stands in for the routed chain order; the
+// live fabric has no switch geometry). Each new parent replays the
+// packets it already holds into the fresh edge; later arrivals forward
+// through the normal receive path. Edges that would reuse a dead
+// transport pair fall back to a direct root edge, and a destination
+// re-grafted too often is abandoned.
+func (rt *rrt) graft(adopter int, orphans []int) {
+	var keep []int
+	for _, v := range orphans {
+		if v == adopter || rt.abandoned[v] {
+			continue
+		}
+		rt.regrafts[v]++
+		if rt.regrafts[v] > rt.cfg.MaxRegrafts {
+			rt.abandon(v)
+			continue
+		}
+		rt.killEdgesInto(v)
+		keep = append(keep, v)
+	}
+	if len(keep) == 0 {
+		return
+	}
+	sort.Ints(keep)
+	sub := tree.KBinomial(append([]int{adopter}, keep...), rt.k)
+	for _, e := range sub.Edges() {
+		a, b := e.Parent, e.Child
+		if rt.deadPairs[[2]int{a, b}] > 0 {
+			if a == rt.root || rt.deadPairs[[2]int{rt.root, b}] > 0 {
+				rt.abandon(b)
+				continue
+			}
+			a = rt.root
+		}
+		if _, dup := rt.edges[[2]int{a, b}]; dup {
+			continue
+		}
+		edge := rt.newEdge(a, b, false)
+		rt.wg.Add(1)
+		go func(e *redge) { defer rt.wg.Done(); e.run() }(edge)
+		// Parent-route first so the child can ACK the very first replayed
+		// frame; then attach the child to the parent NI, which replays its
+		// held packets into the new edge.
+		rt.niCtl(b, niCtl{kind: niSetParent, from: a, edge: edge})
+		rt.niCtl(a, niCtl{kind: niAddChild, child: b, edge: edge})
+	}
+	rt.adoptions++
+}
+
+// abandon gives up on destination v permanently.
+func (rt *rrt) abandon(v int) {
+	if rt.abandoned[v] {
+		return
+	}
+	rt.abandoned[v] = true
+	rt.killEdgesInto(v)
+	rt.killEdgesOutOf(v)
+}
+
+// exhausted handles an edge whose retry budget ran out: the incarnation
+// is retired and its subtree repaired under the sending endpoint (or the
+// detector's adoption path, if the receiver is scheduled-down and the
+// membership plane will confirm it shortly).
+func (rt *rrt) exhausted(a, b int) {
+	rt.deadPairs[[2]int{a, b}]++
+	rt.killEdge(a, b)
+	now := time.Since(rt.start)
+	if rt.down(b, now) && rt.det != nil {
+		return // the failure detector owns crashed-host adoption
+	}
+	var orphans []int
+	for _, v := range rt.incompleteSubtree(b) {
+		if rt.down(v, now) || rt.abandoned[v] {
+			continue
+		}
+		if _, ok := rt.done[v]; ok && len(rt.children[v]) == 0 {
+			continue // completed leaf: nothing to repair
+		}
+		orphans = append(orphans, v)
+	}
+	adopter := a
+	if rt.det != nil && rt.down(a, now) {
+		adopter = rt.liveAncestor(a)
+	}
+	rt.graft(adopter, orphans)
+}
+
+// niCtl delivers a control message to one NI, abort-aware.
+func (rt *rrt) niCtl(host int, c niCtl) {
+	select {
+	case rt.nis[host].ctl <- c:
+	case <-rt.abort:
+	}
+}

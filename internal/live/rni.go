@@ -1,0 +1,197 @@
+package live
+
+import (
+	"time"
+
+	"repro/internal/live/link"
+	"repro/internal/message"
+	"repro/internal/workload"
+)
+
+// niCtl is a supervisor message to a reliable NI: tree-shape updates
+// driven by adoption and repair.
+type niCtl struct {
+	kind  niCtlKind
+	child int    // add/del: the child host
+	from  int    // setParent: the new parent host
+	edge  *redge // add/setParent: the edge incarnation
+}
+
+type niCtlKind int
+
+const (
+	niAddChild niCtlKind = iota
+	niDelChild
+	niSetParent
+)
+
+// rni is one host's crash-tolerant NI: a single goroutine selecting over
+// the inbox wire, the supervisor's control channel, and its heartbeat
+// tick. All fields below the channel trio are goroutine-owned; the
+// supervisor reads them only after the WaitGroup drains.
+type rni struct {
+	rt    *rrt
+	host  int
+	inbox *link.Inbox
+	ctl   chan niCtl
+
+	childEdges []*redge       // current outgoing edges, ascending by .to
+	parents    map[int]*redge // inbound ack routes by sending host
+	got        []bool         // per-packet dedup bitmap
+	reasm      *message.Reassembler
+	ackRNG     *workload.RNG
+
+	arrivals   []Arrival
+	accepts    []EpochAccept
+	recvs      int // novel acceptances
+	dups       int // duplicate frames suppressed
+	fenced     int // stale-epoch frames discarded
+	crashDrops int // frames eaten while down
+	wasDown    bool
+	completed  bool
+}
+
+// run is the NI loop. It starts by seeding its initial child edges with
+// every packet it already holds — only the root holds any at startup, so
+// this IS the FPFS packet-major injection — then serves frames, control
+// and heartbeats until the runtime aborts. A crashed NI keeps draining
+// its inbox (releasing buffer slots so blocked senders never wedge) but
+// blackholes every frame: silent death, exactly like the simulator's
+// crash plane.
+func (n *rni) run() {
+	n.replay(n.childEdges)
+	var hbTick <-chan time.Time
+	if n.rt.det != nil {
+		t := time.NewTicker(n.rt.cfg.Heartbeat.Every)
+		defer t.Stop()
+		hbTick = t.C
+	}
+	for {
+		select {
+		case f, ok := <-n.inbox.Wire():
+			if !ok {
+				return
+			}
+			f.Wait()
+			n.serve(f)
+		case c := <-n.ctl:
+			n.apply(c)
+		case <-hbTick:
+			now := time.Since(n.rt.start)
+			if !n.rt.down(n.host, now) {
+				select { // lossy by design: a missed beat is just silence
+				case n.rt.ctl <- rctl{kind: ctlBeat, host: n.host, at: now}:
+				default:
+				}
+			}
+		case <-n.rt.abort:
+			return
+		}
+	}
+}
+
+// replay enqueues every packet this NI holds into the given edges,
+// packet-major (packet 0 to every edge, then packet 1, ...), mirroring
+// the simulator's graft replay and the root's FPFS seeding.
+func (n *rni) replay(edges []*redge) {
+	for seq, have := range n.got {
+		if !have {
+			continue
+		}
+		for _, e := range edges {
+			e.enqueue(seq)
+		}
+	}
+}
+
+// apply folds one supervisor control message into the NI's edge set.
+func (n *rni) apply(c niCtl) {
+	switch c.kind {
+	case niSetParent:
+		n.parents[c.from] = c.edge
+	case niAddChild:
+		n.childEdges = append(n.childEdges, c.edge)
+		n.replay([]*redge{c.edge})
+	case niDelChild:
+		for i, e := range n.childEdges {
+			if e.to == c.child {
+				n.childEdges = append(n.childEdges[:i], n.childEdges[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// serve handles one admitted frame: crash blackhole, amnesiac rejoin,
+// integrity and epoch checks, ACK, dedup, FPFS forward, reassembly.
+func (n *rni) serve(f link.Frame) {
+	defer n.inbox.Release()
+	now := time.Since(n.rt.start)
+	if n.rt.down(n.host, now) {
+		n.wasDown = true
+		n.crashDrops++
+		return
+	}
+	if n.wasDown {
+		// Amnesiac rejoin: the crash dropped all NI state — dedup bitmap
+		// and reassembly restart from nothing (the root keeps its packets:
+		// they live in host memory, not NI buffers). Tell the supervisor:
+		// packets ACKed before the crash are erased here but retired at the
+		// parent edge, so only a fresh-edge full replay can recover them —
+		// and a crash shorter than the suspicion window means the failure
+		// detector will never order that replay on its own.
+		n.wasDown = false
+		if n.reasm != nil {
+			n.got = make([]bool, n.rt.m)
+			n.reasm = message.NewReassembler()
+			n.completed = false
+			select {
+			case n.rt.ctl <- rctl{kind: ctlRejoin, host: n.host, at: now}:
+			case <-n.rt.abort:
+				return
+			}
+		}
+	}
+	h, err := message.DecodeHeader(f.Payload)
+	if err != nil || h.MsgID != n.rt.s.MsgID || int(h.Seq) >= n.rt.m ||
+		len(f.Payload) != message.HeaderSize+int(h.Payload) {
+		return // undecodable or foreign: drop; retransmission recovers
+	}
+	if h.PacketChecksum(f.Payload[message.HeaderSize:]) != h.Checksum {
+		return // corrupted in transit: drop silently
+	}
+	g := int(n.rt.epoch.Load())
+	if int(h.Epoch) < g {
+		n.fenced++ // stale epoch: discard wholesale, no ACK
+		return
+	}
+	seq := int(h.Seq)
+	// ACK every valid in-epoch frame, duplicates included — the lost half
+	// of a duplicate exchange may have been the ACK.
+	if pe, ok := n.parents[f.From]; ok && !n.rt.chaos.AckDrop(n.ackRNG) {
+		pe.ack(rack{seq: seq, epoch: g})
+	}
+	if n.got[seq] {
+		n.dups++
+		return
+	}
+	n.got[seq] = true
+	n.recvs++
+	n.arrivals = append(n.arrivals, Arrival{Packet: seq, From: f.From})
+	if g > 0 {
+		n.accepts = append(n.accepts, EpochAccept{Host: n.host, Packet: seq, Epoch: int(h.Epoch), At: now})
+	}
+	// FPFS: forward the novel packet to every child the moment it arrives.
+	for _, ce := range n.childEdges {
+		ce.enqueue(seq)
+	}
+	if n.reasm != nil {
+		if done, err := n.reasm.Add(f.Payload); err == nil && done && !n.completed {
+			n.completed = true
+			select {
+			case n.rt.ctl <- rctl{kind: ctlDone, host: n.host, at: time.Since(n.rt.start), data: n.reasm.Bytes()}:
+			case <-n.rt.abort:
+			}
+		}
+	}
+}

@@ -274,6 +274,34 @@ func (d *Detector) Advance(now float64) []Event {
 	}
 }
 
+// Witness records first-hand knowledge that a member is alive at the
+// given time, WITHOUT judging pending timeouts first: unlike Heartbeat,
+// it can save a member whose confirmation deadline already passed. It is
+// for drivers colocated with a member (a supervisor that IS the member's
+// protocol engine): their own liveness proves the member's, so a late
+// observation must not be outweighed by the silence that scheduling
+// delays manufactured. A Suspect member is reinstated silently; a Crashed
+// member re-admitted in a new epoch; unknown hosts are ignored.
+func (d *Detector) Witness(host int, at float64) []Event {
+	m, ok := d.members[host]
+	if !ok {
+		return nil
+	}
+	if at > m.lastHeard {
+		m.lastHeard = at
+	}
+	switch m.phase {
+	case Suspect:
+		m.phase = Alive
+	case Crashed:
+		m.phase = Alive
+		d.epoch++
+		d.viewAt = at
+		return []Event{{At: at, Host: host, Kind: Rejoined, Epoch: d.epoch}}
+	}
+	return nil
+}
+
 // Heartbeat records a heartbeat from a member at the given time, first
 // advancing pending timeouts up to that time (so a beat cannot save a
 // member whose confirmation deadline already passed). A beat from a

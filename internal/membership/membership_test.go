@@ -191,3 +191,52 @@ func TestNextDeadline(t *testing.T) {
 		t.Error("deadline reported with every member crashed")
 	}
 }
+
+// TestWitnessSavesPastDeadline: unlike Heartbeat, a Witness observation is
+// not outweighed by silence that already crossed the confirmation
+// deadline — the driver's first-hand knowledge wins.
+func TestWitnessSavesPastDeadline(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.JitterFrac = 0
+	d, _ := New(cfg, []int{0, 1}, 0)
+	deep := cfg.SuspectAfter + cfg.ConfirmAfter + 10 // past both deadlines
+
+	// Witness first: the member must survive the subsequent judgment.
+	if evs := d.Witness(0, deep); len(evs) != 0 {
+		t.Fatalf("witness of an alive member produced events %v", evs)
+	}
+	evs := d.Advance(deep)
+	for _, e := range evs {
+		if e.Host == 0 {
+			t.Fatalf("witnessed member judged anyway: %v", e)
+		}
+	}
+	if d.Phase(0) != Alive {
+		t.Errorf("witnessed member phase %v, want alive", d.Phase(0))
+	}
+	// Heartbeat in the same position would NOT have saved host 1.
+	if d.Phase(1) != Crashed {
+		t.Errorf("silent member phase %v, want crashed", d.Phase(1))
+	}
+
+	// Witness of a crashed member re-admits it like a rejoin heartbeat.
+	epoch := d.Epoch()
+	revs := d.Witness(1, deep+1)
+	if len(revs) != 1 || revs[0].Kind != Rejoined || revs[0].Epoch != epoch+1 {
+		t.Fatalf("witness of a crashed member produced %v, want one Rejoined at epoch %d", revs, epoch+1)
+	}
+	if d.Phase(1) != Alive {
+		t.Errorf("rejoined member phase %v, want alive", d.Phase(1))
+	}
+
+	// A stale witness must not regress lastHeard.
+	d.Witness(0, deep-100)
+	if evs := d.Advance(deep + 2); len(evs) != 0 {
+		t.Errorf("stale witness regressed liveness: %v", evs)
+	}
+
+	// Unknown hosts are ignored.
+	if evs := d.Witness(99, deep); evs != nil {
+		t.Errorf("unknown host witness produced %v", evs)
+	}
+}

@@ -32,6 +32,11 @@ type Header struct {
 	// followed by the payload, so corruption anywhere in the packet —
 	// control fields included — is detected, not just payload damage.
 	Checksum uint32
+	// Epoch is the membership epoch the packet was (re)transmitted under;
+	// 0 means epoch fencing is not armed. The field sits in previously
+	// reserved header bytes and is covered by the checksum, so a damaged
+	// epoch is rejected like any other corruption.
+	Epoch uint16
 }
 
 // PacketChecksum computes the checksum a valid packet with this header and
@@ -56,7 +61,8 @@ func (h Header) Encode(dst []byte) []byte {
 	}
 	binary.BigEndian.PutUint16(buf[12:], h.Payload)
 	binary.BigEndian.PutUint32(buf[14:], h.Checksum)
-	// bytes 11, 18, 19 reserved
+	binary.BigEndian.PutUint16(buf[18:], h.Epoch)
+	// byte 11 reserved
 	return append(dst, buf[:]...)
 }
 
@@ -73,6 +79,7 @@ func DecodeHeader(b []byte) (Header, error) {
 		Multicast: b[10] == 1,
 		Payload:   binary.BigEndian.Uint16(b[12:]),
 		Checksum:  binary.BigEndian.Uint32(b[14:]),
+		Epoch:     binary.BigEndian.Uint16(b[18:]),
 	}
 	if h.Total == 0 {
 		return Header{}, fmt.Errorf("message: zero-packet message")
@@ -135,6 +142,26 @@ func Packetize(msgID uint32, source int, data []byte, packetBytes int) ([][]byte
 		packets = append(packets, pkt)
 	}
 	return packets, nil
+}
+
+// WithEpoch returns a copy of pkt re-stamped with the given transmission
+// epoch, checksum recomputed so the copy still verifies. The input packet
+// must itself be valid. When the epoch already matches, the original slice
+// is returned unchanged (and unaliased copies are not needed: the fast
+// path is read-only).
+func WithEpoch(pkt []byte, epoch uint16) ([]byte, error) {
+	h, err := DecodeHeader(pkt)
+	if err != nil {
+		return nil, err
+	}
+	if h.Epoch == epoch {
+		return pkt, nil
+	}
+	body := pkt[HeaderSize:]
+	h.Epoch = epoch
+	h.Checksum = h.PacketChecksum(body)
+	out := h.Encode(make([]byte, 0, len(pkt)))
+	return append(out, body...), nil
 }
 
 // Reassembler rebuilds one message from its packets, defensively: it

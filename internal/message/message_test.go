@@ -223,3 +223,71 @@ func TestEndToEndDataDelivery(t *testing.T) {
 		}
 	}
 }
+
+func TestWithEpoch(t *testing.T) {
+	pkts, err := Packetize(9, 2, []byte("epoch fencing payload"), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt := pkts[0]
+	stamped, err := WithEpoch(pkt, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &stamped[0] == &pkt[0] {
+		t.Fatal("re-stamp did not copy")
+	}
+	h, err := DecodeHeader(stamped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Epoch != 5 {
+		t.Fatalf("epoch = %d, want 5", h.Epoch)
+	}
+	if h.PacketChecksum(stamped[HeaderSize:]) != h.Checksum {
+		t.Fatal("re-stamped packet fails checksum")
+	}
+	// Everything but epoch and checksum is unchanged; the body is identical.
+	h0, _ := DecodeHeader(pkt)
+	h.Epoch, h.Checksum = h0.Epoch, h0.Checksum
+	if h != h0 {
+		t.Fatalf("re-stamp changed header fields: %+v vs %+v", h, h0)
+	}
+	if !bytes.Equal(stamped[HeaderSize:], pkt[HeaderSize:]) {
+		t.Fatal("re-stamp changed payload")
+	}
+	// Same epoch: the original slice comes back, no copy.
+	same, err := WithEpoch(stamped, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &same[0] != &stamped[0] {
+		t.Fatal("matching epoch should return the input unchanged")
+	}
+	// Corrupting the epoch bytes is caught by the checksum like any other
+	// header damage.
+	bad := append([]byte(nil), stamped...)
+	bad[18] ^= 0xFF
+	hb, err := DecodeHeader(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hb.PacketChecksum(bad[HeaderSize:]) == hb.Checksum {
+		t.Fatal("corrupted epoch passed checksum")
+	}
+	// A reassembler accepts re-stamped packets: only the transmission epoch
+	// differs, not the message identity.
+	r := NewReassembler()
+	for i, p := range pkts {
+		sp, err := WithEpoch(p, uint16(i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Add(sp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(r.Bytes(), []byte("epoch fencing payload")) {
+		t.Fatal("reassembly of re-stamped packets lost bytes")
+	}
+}

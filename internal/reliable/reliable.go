@@ -50,6 +50,7 @@
 package reliable
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -226,6 +227,16 @@ type Result struct {
 	PeakBuffered     int
 }
 
+// ErrDelivery and ErrCrash are the sentinel identities of the two typed
+// failures below: errors.Is(err, reliable.ErrDelivery) matches any
+// *DeliveryError through arbitrary %w wrapping (and likewise ErrCrash for
+// *CrashError), so callers can classify a failure without destructuring
+// it. Use errors.As to reach the fields.
+var (
+	ErrDelivery = errors.New("reliable: delivery incomplete")
+	ErrCrash    = errors.New("reliable: quorum missed after crash")
+)
+
 // DeliveryError is the typed failure of a reliable multicast: the
 // destinations that never completed, and whether a network partition (as
 // opposed to an exhausted retry budget) caused it. The Result returned
@@ -234,6 +245,9 @@ type DeliveryError struct {
 	Orphaned    []int
 	Partitioned bool
 }
+
+// Unwrap ties every *DeliveryError to the ErrDelivery sentinel.
+func (e *DeliveryError) Unwrap() error { return ErrDelivery }
 
 // Error formats the failure.
 func (e *DeliveryError) Error() string {
@@ -263,6 +277,9 @@ type CrashError struct {
 	// fails the operation regardless of quorum.
 	RootCrashed bool
 }
+
+// Unwrap ties every *CrashError to the ErrCrash sentinel.
+func (e *CrashError) Unwrap() error { return ErrCrash }
 
 // Error formats the failure.
 func (e *CrashError) Error() string {
