@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check staticcheck mcastcheck soak chaos-soak bench ci figures clean live-race
+.PHONY: all build test race vet fmt check staticcheck mcastcheck soak chaos-soak net-soak bench ci figures clean live-race
 
 all: check
 
@@ -70,18 +70,38 @@ chaos-soak:
 	$(GO) run -race ./cmd/mcastcheck -n 250 -seed 3 -workers 1 \
 		-only live-faulty-terminates,live-survivor-bytes,live-epoch-monotone,live-faulty-lossless-identity
 
+# Net soak: the socket rung of the differential ladder. Runs the
+# loopback-UDP soak (120 fixed-seed broadcasts over real sockets), a
+# 150-case net-matches-live sweep (every instance executed over UDP and
+# compared structurally against the in-process live engine), the lossy
+# UDP chaos sweep (FaultyTransport wrapping UDPTransport), and an mcastd
+# -all daemon smoke — all under the race detector. Skips cleanly where
+# loopback sockets are unavailable.
+net-soak:
+	$(GO) test -race -run 'TestNetSoak|TestNetChaosSweep' -count=1 ./internal/live ./internal/check
+	$(GO) run -race ./cmd/mcastcheck -n 150 -seed 5 -workers 4 -only net-matches-live
+	$(GO) run -race ./cmd/mcastd -all -dims 4 -bytes 16384
+
 # Bench: the tracked performance baseline. Runs the engine event-loop,
 # harness-throughput and reliable-delivery suites with -benchmem and
 # records the parsed results as BENCH_sim.json (see DESIGN.md §10 for how
 # to read it). -benchtime is fixed in iterations so run-to-run JSON diffs
-# reflect perf drift, not iteration-count noise.
+# reflect perf drift, not iteration-count noise. The harness-throughput
+# pair runs separately at a smaller fixed count: one op is a full 64-case
+# catalogue sweep (~2s since the chaos invariants joined it), so 200x
+# would blow the per-package test timeout. Two commands, no pipe on the
+# test runs, so a benchmark failure fails the target instead of being
+# swallowed by the pipe's exit status.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkEngine|BenchmarkCheckCases|BenchmarkReliable|BenchmarkEventSimMulticast|BenchmarkLive' \
-		-benchmem -benchtime 200x ./internal/sim ./internal/check ./internal/live . \
-		| $(GO) run ./cmd/benchjson -echo > BENCH_sim.json
+	$(GO) test -run '^$$' -bench 'BenchmarkEngine|BenchmarkReliable|BenchmarkEventSimMulticast|BenchmarkLive' \
+		-benchmem -benchtime 200x ./internal/sim ./internal/live . > bench-raw.out
+	$(GO) test -run '^$$' -bench 'BenchmarkCheckCases' \
+		-benchmem -benchtime 25x -timeout 20m ./internal/check >> bench-raw.out
+	$(GO) run ./cmd/benchjson -echo < bench-raw.out > BENCH_sim.json
+	@rm -f bench-raw.out
 	@echo "wrote BENCH_sim.json"
 
-ci: check staticcheck live-race mcastcheck chaos-soak
+ci: check staticcheck live-race mcastcheck chaos-soak net-soak
 
 figures:
 	$(GO) run ./cmd/figures -out figures

@@ -67,6 +67,13 @@ func run(args []string, out, errw io.Writer) int {
 				ids = append(ids, id)
 			}
 		}
+		if len(ids) == 0 {
+			// A non-empty -only that names nothing would silently restore
+			// the FULL catalogue (Select with no IDs means "all"): a sweep
+			// the caller meant to restrict would check everything.
+			fmt.Fprintf(errw, "mcastcheck: -only %q selects no invariants\n", *only)
+			return 2
+		}
 		if err := check.Select(ids...); err != nil {
 			fmt.Fprintln(errw, err)
 			return 2

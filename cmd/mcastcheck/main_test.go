@@ -93,3 +93,22 @@ func TestOnlyFilter(t *testing.T) {
 		t.Fatalf("unknown ID not named on stderr:\n%s", errw.String())
 	}
 }
+
+// TestOnlyEmptySelection pins the degenerate -only forms: a value that
+// trims to nothing must be a usage error (exit 2), because passing the
+// empty selection through Select would silently restore the FULL
+// catalogue — the exact opposite of what the caller asked for.
+func TestOnlyEmptySelection(t *testing.T) {
+	for _, only := range []string{" ", ",", " , ", ",,,"} {
+		var out, errw bytes.Buffer
+		if code := run([]string{"-n", "5", "-only", only}, &out, &errw); code != 2 {
+			t.Fatalf("-only %q exited %d, want 2\nstderr:\n%s", only, code, errw.String())
+		}
+		if !strings.Contains(errw.String(), "selects no invariants") {
+			t.Fatalf("-only %q: empty selection not reported on stderr:\n%s", only, errw.String())
+		}
+		if len(check.Active()) != len(check.Invariants) {
+			t.Fatalf("-only %q corrupted the global filter", only)
+		}
+	}
+}

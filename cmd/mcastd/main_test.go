@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"net"
+	"strings"
+	"testing"
+)
+
+func skipWithoutLoopback(t *testing.T) {
+	t.Helper()
+	c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Skipf("loopback UDP unavailable: %v", err)
+	}
+	c.Close()
+}
+
+// TestAllMode runs the single-process loopback deployment end to end
+// and pins the report: every destination delivered, exit 0.
+func TestAllMode(t *testing.T) {
+	skipWithoutLoopback(t)
+	var out, errw bytes.Buffer
+	code := run([]string{"-all", "-dims", "3", "-bytes", "1500", "-packet", "128"}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errw.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "root confirmed 7/7 destinations") {
+		t.Fatalf("missing confirmation line:\n%s", s)
+	}
+	if !strings.Contains(s, "delivered 1500 bytes") {
+		t.Fatalf("missing delivery lines:\n%s", s)
+	}
+}
+
+// TestUsageErrors pins exit code 2 on bad invocations.
+func TestUsageErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"bad-flag", []string{"-no-such-flag"}},
+		{"bad-topo", []string{"-topo", "torus", "-all"}},
+		{"bad-dests", []string{"-all", "-dims", "3", "-dests", "99"}},
+		{"all-with-hosts", []string{"-all", "-hosts", "0"}},
+		{"no-hosts", []string{"-dims", "3"}},
+		{"bad-bind", []string{"-hosts", "0", "-bind", "nonsense"}},
+		{"bad-peers", []string{"-hosts", "0", "-peers", "1:missing-equals"}},
+	} {
+		var out, errw bytes.Buffer
+		if code := run(tc.args, &out, &errw); code != 2 {
+			t.Errorf("%s: exit %d, want 2\nstderr:\n%s", tc.name, code, errw.String())
+		}
+	}
+}
+
+// TestMissingPeers: a multi-process invocation whose peer map does not
+// cover the tree is a usage error naming the gap.
+func TestMissingPeers(t *testing.T) {
+	skipWithoutLoopback(t)
+	var out, errw bytes.Buffer
+	code := run([]string{"-dims", "2", "-hosts", "0"}, &out, &errw)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2\nstderr:\n%s", code, errw.String())
+	}
+	if !strings.Contains(errw.String(), "neither local nor in -peers") {
+		t.Fatalf("gap not reported:\n%s", errw.String())
+	}
+}

@@ -37,6 +37,12 @@
 // wall-clock latency next to the simulator's prediction for the same
 // plan. Live runs support -ni fpfs -model packet.
 //
+// -net (with -live) swaps the channel links for real loopback UDP
+// sockets: every tree edge is dialed over internal/live/link's datagram
+// transport, with MTU fragmentation, checksums, and credit-based
+// backpressure on the wire. It composes with the fault flags — the
+// chaos decorator then drops/corrupts real datagrams.
+//
 // Combining -live with fault flags runs the chaos-hardened reliable live
 // engine: the transport is wrapped in a seeded fault-injection decorator
 // and delivery rides real retransmission timers, live heartbeats, and
@@ -88,6 +94,7 @@ func main() {
 	timeline := flag.Bool("timeline", false, "print an ASCII per-host activity timeline")
 	traceJSON := flag.String("trace-json", "", "write the event trace to FILE in Chrome trace-event format")
 	liveRun := flag.Bool("live", false, "execute the multicast on the live goroutine runtime instead of simulating")
+	netRun := flag.Bool("net", false, "with -live: dial every tree edge over a loopback UDP socket instead of channel links")
 	liveTimeout := flag.Duration("live-timeout", 0, "watchdog timeout for -live runs (0 = the 30s default)")
 	model := flag.String("model", "packet", "network model: packet (fast reservation) or flit (cycle-accurate wormhole)")
 	reliableRun := flag.Bool("reliable", false, "use the ACK/NACK reliable-delivery protocol (implied by any fault flag)")
@@ -149,11 +156,15 @@ func main() {
 		}
 		fmt.Printf("system: %s (seed %d)\n", sys.Net.Summary(), *seed)
 		if *reliableRun || *droprate > 0 || *faultSpec != "" || len(crashes) > 0 || *quorum > 0 {
-			runLiveReliable(sys, plan, *droprate, *faultSpec, crashes, *quorum, *retries, *liveTimeout, *wseed, *verbose)
+			runLiveReliable(sys, plan, *droprate, *faultSpec, crashes, *quorum, *retries, *liveTimeout, *wseed, *verbose, *netRun)
 			return
 		}
-		runLive(sys, plan, *liveTimeout, *wseed, *verbose, *traceJSON)
+		runLive(sys, plan, *liveTimeout, *wseed, *verbose, *traceJSON, *netRun)
 		return
+	}
+	if *netRun {
+		fmt.Fprintln(os.Stderr, "mcastsim: -net requires -live")
+		os.Exit(1)
 	}
 
 	if *reliableRun || *droprate > 0 || *faultSpec != "" || len(crashes) > 0 {
@@ -218,7 +229,7 @@ func main() {
 // runLive executes the plan on the live goroutine runtime (internal/live)
 // with a deterministic payload of exactly the spec's packet count, and
 // reports the measured wall clock next to the simulator's prediction.
-func runLive(sys *repro.System, plan *repro.Plan, timeout time.Duration, wseed uint64, verbose bool, traceJSON string) {
+func runLive(sys *repro.System, plan *repro.Plan, timeout time.Duration, wseed uint64, verbose bool, traceJSON string, overUDP bool) {
 	p := repro.DefaultParams()
 	payload := make([]byte, plan.Spec.Packets*(p.PacketBytes-message.HeaderSize))
 	prng := workload.NewRNG(wseed ^ 0x9e3779b97f4a7c15)
@@ -230,10 +241,18 @@ func runLive(sys *repro.System, plan *repro.Plan, timeout time.Duration, wseed u
 		fmt.Fprintf(os.Stderr, "mcastsim: %v\n", err)
 		os.Exit(1)
 	}
-	res, err := live.Run(
-		[]live.Session{{Tree: plan.Tree, Packets: pkts, MsgID: 1}},
-		live.Config{BufferPackets: p.NIBufferPackets, Record: traceJSON != "", Timeout: timeout},
-	)
+	cfg := live.Config{BufferPackets: p.NIBufferPackets, Record: traceJSON != "", Timeout: timeout}
+	var nw *link.UDPNetwork
+	if overUDP {
+		nw, err = link.NewLoopbackUDP(plan.Tree.Nodes(), link.UDPConfig{Session: wseed + 1})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcastsim: loopback fabric: %v\n", err)
+			os.Exit(1)
+		}
+		defer nw.Close()
+		cfg.Network = nw
+	}
+	res, err := live.Run([]live.Session{{Tree: plan.Tree, Packets: pkts, MsgID: 1}}, cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mcastsim: live run: %v\n", err)
 		os.Exit(1)
@@ -250,10 +269,17 @@ func runLive(sys *repro.System, plan *repro.Plan, timeout time.Duration, wseed u
 			exact++
 		}
 	}
-	fmt.Printf("spec:   source h%d, %d destinations, %d packets (%d payload bytes), %s tree, live FPFS\n",
-		plan.Spec.Source, len(plan.Spec.Dests), len(pkts), len(payload), plan.Spec.Policy)
+	fabric := "channel links"
+	if overUDP {
+		fabric = "loopback UDP sockets"
+	}
+	fmt.Printf("spec:   source h%d, %d destinations, %d packets (%d payload bytes), %s tree, live FPFS over %s\n",
+		plan.Spec.Source, len(plan.Spec.Dests), len(pkts), len(payload), plan.Spec.Policy, fabric)
 	fmt.Printf("plan:   k=%d, tree depth=%d, root degree=%d\n",
 		plan.K, plan.Tree.Depth(), plan.Tree.RootDegree())
+	if nw != nil {
+		fmt.Printf("fabric: %+v\n", nw.Stats())
+	}
 	fmt.Printf("result: wall latency %v, %d sends; simulator predicts %.1f us for this plan\n",
 		sr.Latency.Round(time.Microsecond), res.Sends, pred.Latency)
 	fmt.Printf("        %d of %d destinations reassembled the message byte-exactly\n",
@@ -367,7 +393,7 @@ func parseLiveFaults(spec string, droprate float64) (link.Faults, error) {
 // engine — a fault-decorated transport under real retransmission timers,
 // heartbeats, and epoch-fenced reconfiguration — and prints the protocol
 // and chaos counters. Crash times (-crash HOST@T[@RT]) are milliseconds.
-func runLiveReliable(sys *repro.System, plan *repro.Plan, droprate float64, faultSpec string, crashes []repro.HostCrash, quorum, retries int, timeout time.Duration, wseed uint64, verbose bool) {
+func runLiveReliable(sys *repro.System, plan *repro.Plan, droprate float64, faultSpec string, crashes []repro.HostCrash, quorum, retries int, timeout time.Duration, wseed uint64, verbose bool, overUDP bool) {
 	faults, err := parseLiveFaults(faultSpec, droprate)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mcastsim: -faults: %v\n", err)
@@ -378,6 +404,15 @@ func runLiveReliable(sys *repro.System, plan *repro.Plan, droprate float64, faul
 	cfg.RetryBudget = retries
 	cfg.Quorum = quorum
 	cfg.Live.Timeout = timeout
+	if overUDP {
+		nw, err := link.NewLoopbackUDP(plan.Tree.Nodes(), link.UDPConfig{Session: wseed + 1})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcastsim: loopback fabric: %v\n", err)
+			os.Exit(1)
+		}
+		defer nw.Close()
+		cfg.Live.Network = nw
+	}
 	for _, c := range crashes {
 		hc := live.HostCrash{Host: c.Host, At: ms(c.At)}
 		if c.RecoverAt > 0 {
@@ -404,8 +439,12 @@ func runLiveReliable(sys *repro.System, plan *repro.Plan, droprate float64, faul
 		os.Exit(1)
 	}
 
-	fmt.Printf("spec:   source h%d, %d destinations, %d packets (%d payload bytes), %s tree, reliable live FPFS\n",
-		plan.Spec.Source, len(plan.Spec.Dests), res.Packets, len(payload), plan.Spec.Policy)
+	fabric := "channel links"
+	if overUDP {
+		fabric = "loopback UDP sockets"
+	}
+	fmt.Printf("spec:   source h%d, %d destinations, %d packets (%d payload bytes), %s tree, reliable live FPFS over %s\n",
+		plan.Spec.Source, len(plan.Spec.Dests), res.Packets, len(payload), plan.Spec.Policy, fabric)
 	fmt.Printf("faults: drop=%g corrupt=%g reorder=%g ackdrop=%g jitter=%v kills=%d stalls=%d crashes=%d seed=%d\n",
 		faults.DropRate, faults.CorruptRate, faults.ReorderRate, faults.AckDropRate, faults.MaxJitter,
 		len(faults.Kills), len(faults.Stalls), len(cfg.Crashes), faults.Seed)

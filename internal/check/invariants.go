@@ -57,6 +57,7 @@ var Invariants = []Invariant{
 	{"live-survivor-bytes", "every destination not scheduled to crash-stop ends the faulty live run holding the byte-exact payload", checkLiveSurvivorBytes},
 	{"live-epoch-monotone", "faulty live accepts carry per-host nondecreasing epochs and installed views advance strictly from the initial epoch-1 view", checkLiveEpochMonotone},
 	{"live-faulty-lossless-identity", "with the fault plane at p=0 the chaos-wrapped reliable live engine is byte- and order-identical to the plain live engine", checkLiveFaultyLosslessIdentity},
+	{"net-matches-live", "the same instance executed over loopback UDP sockets is structurally identical to the in-process live run: delivery order, parent edges, send/receive counts, byte-exact payloads", checkNetMatchesLive},
 }
 
 // InvariantByID returns the catalogue entry with the given ID.

@@ -20,6 +20,7 @@ import (
 	"repro/internal/collectives"
 	"repro/internal/core"
 	"repro/internal/live"
+	"repro/internal/live/link"
 	"repro/internal/membership"
 	"repro/internal/message"
 	"repro/internal/reliable"
@@ -207,6 +208,74 @@ func (g *Group) BcastLive(root int, data []byte, p sim.Params) (*BcastLiveResult
 	)
 	if err != nil {
 		return nil, fmt.Errorf("comm: live broadcast: %w", err)
+	}
+	pred := g.sys.Simulate(plan, p, stepsim.FPFS)
+
+	sr := res.Sessions[0]
+	out := &BcastLiveResult{
+		Data:             make([][]byte, len(g.hosts)),
+		WallLatency:      sr.Latency,
+		PredictedLatency: pred.Latency,
+		Packets:          len(pkts),
+		K:                plan.K,
+		Sends:            res.Sends,
+		Live:             &sr,
+	}
+	out.Data[root] = data
+	for i, h := range g.hosts {
+		if i == root {
+			continue
+		}
+		rec := sr.Hosts[h]
+		if rec == nil || rec.Data == nil {
+			return nil, fmt.Errorf("comm: rank %d delivered nothing", i)
+		}
+		if !bytes.Equal(rec.Data, data) {
+			return nil, fmt.Errorf("comm: rank %d payload corrupted", i)
+		}
+		out.Data[i] = rec.Data
+	}
+	return out, nil
+}
+
+// BcastLiveUDP is BcastLive with the fabric on real sockets: the same
+// plan and FPFS NIs, but every tree edge is dialed over a loopback UDP
+// network provisioned for the call (fragmentation, checksums and
+// credit-based backpressure all exercised for real). The fabric is torn
+// down before returning. Intended for integration testing and the
+// mcastsim -net mode; multi-machine deployments use internal/mcastd.
+func (g *Group) BcastLiveUDP(root int, data []byte, p sim.Params) (*BcastLiveResult, error) {
+	if root < 0 || root >= len(g.hosts) {
+		return nil, fmt.Errorf("comm: root rank %d out of range", root)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("comm: params: %w", err)
+	}
+	id := g.nextMsgID()
+	pkts, err := message.Packetize(id, g.hosts[root], data, p.PacketBytes)
+	if err != nil {
+		return nil, err
+	}
+	dests := make([]int, 0, len(g.hosts)-1)
+	for i, h := range g.hosts {
+		if i != root {
+			dests = append(dests, h)
+		}
+	}
+	spec := core.Spec{Source: g.hosts[root], Dests: dests, Packets: len(pkts), Policy: core.OptimalTree}
+	plan := g.sys.Plan(spec)
+
+	nw, err := link.NewLoopbackUDP(plan.Tree.Nodes(), link.UDPConfig{Session: uint64(id)})
+	if err != nil {
+		return nil, fmt.Errorf("comm: loopback fabric: %w", err)
+	}
+	defer nw.Close()
+	res, err := live.Run(
+		[]live.Session{{Tree: plan.Tree, Packets: pkts, MsgID: id}},
+		live.Config{BufferPackets: p.NIBufferPackets, Network: nw},
+	)
+	if err != nil {
+		return nil, fmt.Errorf("comm: live UDP broadcast: %w", err)
 	}
 	pred := g.sys.Simulate(plan, p, stepsim.FPFS)
 

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"net"
 	"testing"
 	"time"
 
@@ -204,6 +205,41 @@ func TestBcastLiveDeliversExactly(t *testing.T) {
 		if res.Live == nil || len(res.Live.Hosts) != g.Size() {
 			t.Errorf("buffer %d: live detail missing", buf)
 		}
+	}
+}
+
+// TestBcastLiveUDPDeliversExactly is the socket variant of the live
+// broadcast: same plan, but the fabric is a loopback UDP network the
+// call provisions and tears down.
+func TestBcastLiveUDPDeliversExactly(t *testing.T) {
+	if c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)}); err != nil {
+		t.Skipf("loopback UDP unavailable: %v", err)
+	} else {
+		c.Close()
+	}
+	sys := testSys()
+	g, err := New(sys, []int{0, 3, 7, 11, 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 900)
+	for i := range payload {
+		payload[i] = byte(i * 11)
+	}
+	res, err := g.BcastLiveUDP(1, payload, sim.DefaultParams())
+	if err != nil {
+		t.Fatalf("BcastLiveUDP: %v", err)
+	}
+	for r := range res.Data {
+		if !bytes.Equal(res.Data[r], payload) {
+			t.Errorf("rank %d got %d bytes, want %d", r, len(res.Data[r]), len(payload))
+		}
+	}
+	if want := (g.Size() - 1) * res.Packets; res.Sends != want {
+		t.Errorf("%d sends, want %d", res.Sends, want)
+	}
+	if res.WallLatency <= 0 {
+		t.Errorf("non-positive wall latency %v", res.WallLatency)
 	}
 }
 

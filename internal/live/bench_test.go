@@ -1,6 +1,7 @@
 package live
 
 import (
+	"net"
 	"testing"
 	"time"
 
@@ -103,3 +104,44 @@ func benchLiveReliable(b *testing.B, dests, packets int, droprate float64) {
 
 func BenchmarkLiveReliable16x8Lossless(b *testing.B) { benchLiveReliable(b, 16, 8, 0) }
 func BenchmarkLiveReliable16x8Drop1pct(b *testing.B) { benchLiveReliable(b, 16, 8, 0.01) }
+
+// benchLiveUDP is the socket rung of the reliable pair: the same
+// 17-host session, but every tree edge is a loopback UDP socket and the
+// chaos decorator (when armed) drops real datagrams. Each iteration
+// provisions a fresh fabric — port binding and goroutine spin-up are
+// part of the price of a networked run, and reusing a lossy fabric
+// across runs would leak stale datagrams into the next iteration.
+func benchLiveUDP(b *testing.B, dests, packets int, droprate float64) {
+	c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		b.Skipf("loopback UDP unavailable: %v", err)
+	}
+	c.Close()
+	s := benchSession(b, dests, packets)
+	cfg := DefaultReliableConfig()
+	cfg.Live.Timeout = time.Minute
+	cfg.RTO = 5 * time.Millisecond
+	cfg.RTOMax = 40 * time.Millisecond
+	cfg.Faults = link.Faults{
+		Seed:      9,
+		DropRate:  droprate,
+		MaxJitter: 50 * time.Microsecond,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw, err := link.NewLoopbackUDP(s.Tree.Nodes(), link.UDPConfig{Session: uint64(i) + 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg.Live.Network = nw
+		if _, err := RunReliable(s, cfg); err != nil {
+			nw.Close()
+			b.Fatal(err)
+		}
+		nw.Close()
+	}
+}
+
+func BenchmarkLiveUDP16x8Lossless(b *testing.B) { benchLiveUDP(b, 16, 8, 0) }
+func BenchmarkLiveUDP16x8Drop1pct(b *testing.B) { benchLiveUDP(b, 16, 8, 0.01) }

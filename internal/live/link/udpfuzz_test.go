@@ -1,0 +1,48 @@
+package link
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeDatagram hammers the datagram decoder with arbitrary bytes:
+// it must never panic, never accept a datagram whose checksum does not
+// cover its exact bytes, and whatever it does accept must re-encode to
+// the identical datagram (the codec is canonical). The checked-in corpus
+// under testdata/fuzz seeds truncations, field corruptions and valid
+// datagrams of every kind.
+func FuzzDecodeDatagram(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("MC"))
+	f.Add(appendDatagram(nil, dgHeader{Kind: dgData, From: 1, To: 2, Session: 3, Epoch: 4, Seq: 5, Frags: 1}, []byte("hello")))
+	f.Add(appendDatagram(nil, dgHeader{Kind: dgCredit, From: 2, To: 1, Session: 3, Epoch: 4, Seq: 17, Frags: 1}, nil))
+	f.Add(appendDatagram(nil, dgHeader{Kind: dgProbe, From: 2, To: 1, Session: 3, Epoch: 4, Frags: 1}, nil))
+	f.Add(appendDatagram(nil, dgHeader{Kind: dgCtl, From: 0, To: 9, Session: 8, Frags: 1}, []byte("STOP")))
+	long := appendDatagram(nil, dgHeader{Kind: dgData, Session: 1, Frag: 2, Frags: 9, Seq: 1 << 20}, bytes.Repeat([]byte{0xAB}, 1200))
+	f.Add(long)
+	trunc := append([]byte{}, long...)
+	f.Add(trunc[:40])
+	flip := append([]byte{}, long...)
+	flip[50] ^= 0xFF
+	f.Add(flip)
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		h, payload, err := decodeDatagram(b)
+		if err != nil {
+			return
+		}
+		if int(h.Length) != len(payload) {
+			t.Fatalf("accepted header length %d over %d payload bytes", h.Length, len(payload))
+		}
+		if h.Kind < dgData || h.Kind > dgCtl {
+			t.Fatalf("accepted unknown kind %d", h.Kind)
+		}
+		if h.Frags == 0 || h.Frag >= h.Frags {
+			t.Fatalf("accepted fragment %d/%d", h.Frag, h.Frags)
+		}
+		re := appendDatagram(nil, h, payload)
+		if !bytes.Equal(re, b[:len(re)]) || len(re) != len(b) {
+			t.Fatalf("accepted datagram is not canonical: %d bytes re-encode to %d", len(b), len(re))
+		}
+	})
+}

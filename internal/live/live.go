@@ -53,6 +53,15 @@ type Config struct {
 	// Timeout arms the watchdog; on expiry the run aborts and reports the
 	// destinations still missing. Zero selects DefaultTimeout.
 	Timeout time.Duration
+	// Network, when non-nil, provisions every tree edge from a real
+	// fabric (e.g. a loopback link.UDPNetwork) instead of in-process
+	// channels: each tree node's inbox is Attached before the run and
+	// every edge is Dialed. LinkLatency shaping does not apply — real
+	// links carry real latency. The runtime Detaches every host at
+	// teardown but never closes the network; the caller owns it. Plain
+	// Run assumes lossless ordered delivery, which loopback UDP provides
+	// in practice; on a wire that can drop, use RunReliable.
+	Network link.Network
 }
 
 // DefaultTimeout is the watchdog bound when Config.Timeout is zero.
@@ -253,7 +262,10 @@ func Run(sessions []Session, cfg Config) (*Result, error) {
 		acks:     make(chan ack, totalDests),
 		fail:     make(chan error, 1),
 	}
-	nis := buildFabric(rt)
+	nis, err := buildFabric(rt)
+	if err != nil {
+		return nil, err
+	}
 
 	rt.start = time.Now()
 	wg := startAll(rt, nis)
@@ -284,6 +296,9 @@ func Run(sessions []Session, cfg Config) (*Result, error) {
 	if runErr != nil || timedOut {
 		close(rt.abort)
 		wg.Wait()
+		// Network deliverers may still be parked on a full inbox gate;
+		// detaching unblocks and retires them (the NIs are already gone).
+		detachAll(rt, nis)
 		if runErr == nil {
 			// Count ACKs that raced the timeout, then snapshot progress —
 			// after Wait the NI state is quiescent, so the per-destination
@@ -302,8 +317,10 @@ func Run(sessions []Session, cfg Config) (*Result, error) {
 		return nil, runErr
 	}
 	// Every destination has acknowledged, which implies every injected
-	// copy was admitted; all NIs are idle, so closing the inboxes is the
-	// clean shutdown signal.
+	// copy was admitted; all NIs are idle. Detach first — a network's
+	// receive pumps must stop before the inboxes they feed close — then
+	// closing the inboxes is the clean shutdown signal.
+	detachAll(rt, nis)
 	for _, ni := range nis {
 		ni.inbox.Close()
 	}
@@ -388,9 +405,12 @@ func assemble(rt *runtime, nis map[int]*ni, got []map[int]ack, wall time.Duratio
 	return res
 }
 
-// buildFabric constructs the per-host NIs and the per-edge links of every
-// session's tree.
-func buildFabric(rt *runtime) map[int]*ni {
+// buildFabric constructs the per-host NIs and the per-edge transports of
+// every session's tree: in-process links by default, or edges dialed
+// from Config.Network when one is set (every host is attached first —
+// dialed senders need the attach-side credit path). On a dial or attach
+// error every attached host is detached before returning.
+func buildFabric(rt *runtime) (map[int]*ni, error) {
 	// Expected inbound frames per host, across sessions: the unbounded
 	// inbox capacity that guarantees senders never block on the wire.
 	expect := map[int]int{}
@@ -419,18 +439,57 @@ func buildFabric(rt *runtime) map[int]*ni {
 		}
 		return n
 	}
+	for _, s := range rt.sessions {
+		for _, v := range s.Tree.Nodes() {
+			hostNI(v)
+		}
+	}
+	if rt.cfg.Network != nil {
+		attached := make([]int, 0, len(nis))
+		for v, n := range nis {
+			if err := rt.cfg.Network.Attach(v, n.inbox); err != nil {
+				for _, a := range attached {
+					rt.cfg.Network.Detach(a)
+				}
+				return nil, fmt.Errorf("live: attach host %d: %w", v, err)
+			}
+			attached = append(attached, v)
+		}
+	}
 	for si, s := range rt.sessions {
 		for _, v := range s.Tree.Nodes() {
-			n := hostNI(v)
+			n := nis[v]
 			ns := &niSession{index: si, m: len(s.Packets)}
 			if v != s.Tree.Root() {
 				ns.reasm = message.NewReassembler()
 			}
 			for _, c := range s.Tree.Children(v) {
-				ns.links = append(ns.links, link.New(v, hostNI(c).inbox, rt.cfg.LinkLatency))
+				var tr link.Transport
+				if rt.cfg.Network != nil {
+					t, err := rt.cfg.Network.Dial(v, c)
+					if err != nil {
+						detachAll(rt, nis)
+						return nil, fmt.Errorf("live: dial edge %d->%d: %w", v, c, err)
+					}
+					tr = t
+				} else {
+					tr = link.New(v, nis[c].inbox, rt.cfg.LinkLatency)
+				}
+				ns.links = append(ns.links, tr)
 			}
 			n.sessions[s.MsgID] = ns
 		}
 	}
-	return nis
+	return nis, nil
+}
+
+// detachAll detaches every fabric host from the configured network; a
+// no-op without one.
+func detachAll(rt *runtime, nis map[int]*ni) {
+	if rt.cfg.Network == nil {
+		return
+	}
+	for v := range nis {
+		rt.cfg.Network.Detach(v)
+	}
 }

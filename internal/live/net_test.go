@@ -1,0 +1,97 @@
+package live
+
+import (
+	"bytes"
+	"net"
+	"testing"
+
+	"repro/internal/live/link"
+	"repro/internal/message"
+	"repro/internal/tree"
+	"repro/internal/workload"
+)
+
+// skipWithoutLoopback guards the network tests in sandboxes that forbid
+// binding UDP sockets; everywhere else they run for real.
+func skipWithoutLoopback(t *testing.T) {
+	t.Helper()
+	c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Skipf("loopback UDP unavailable: %v", err)
+	}
+	c.Close()
+}
+
+// randomTree grows a seeded random tree over n hosts: every host picks
+// a uniform parent among the earlier ones, so shapes range from chains
+// to stars across the soak.
+func randomTree(rng *workload.RNG, n int) *tree.Tree {
+	tr := tree.New(0)
+	for v := 1; v < n; v++ {
+		tr.AddChild(rng.Intn(v), v)
+	}
+	return tr
+}
+
+// TestNetSoak runs 120 fixed-seed broadcasts over real loopback UDP
+// sockets: random tree shapes, payloads from empty to multi-fragment,
+// bounded and unbounded NI buffers, and small MTUs so fragmentation and
+// the credit plane are always exercised. CI runs it under -race.
+func TestNetSoak(t *testing.T) {
+	skipWithoutLoopback(t)
+	const runs = 120
+	rng := workload.NewRNG(0x5047_0001)
+	for i := 0; i < runs; i++ {
+		n := 2 + rng.Intn(9)
+		tr := randomTree(rng, n)
+		data := make([]byte, rng.Intn(2048))
+		for j := range data {
+			data[j] = byte(rng.Intn(256))
+		}
+		pkts, err := message.Packetize(1, 0, data, 64+rng.Intn(192))
+		if err != nil {
+			t.Fatalf("run %d: packetize: %v", i, err)
+		}
+		cfg := Config{BufferPackets: rng.Intn(4)}
+		nw, err := link.NewLoopbackUDP(tr.Nodes(), link.UDPConfig{
+			Session: 0x50A7_0000 + uint64(i),
+			MTU:     128 + rng.Intn(512),
+			Window:  2 + rng.Intn(15),
+		})
+		if err != nil {
+			t.Fatalf("run %d: loopback fabric: %v", i, err)
+		}
+		cfg.Network = nw
+		res, err := Run([]Session{{Tree: tr, Packets: pkts, MsgID: 1}}, cfg)
+		if err != nil {
+			nw.Close()
+			t.Fatalf("run %d (n=%d m=%d): %v", i, n, len(pkts), err)
+		}
+		if s := nw.Stats(); s.BadDatagrams != 0 || s.Resyncs != 0 || s.Overflow != 0 {
+			nw.Close()
+			t.Fatalf("run %d: loopback fabric dropped datagrams: %+v", i, s)
+		}
+		nw.Close()
+		if res.Sends != (n-1)*len(pkts) {
+			t.Fatalf("run %d: Sends = %d, want %d", i, res.Sends, (n-1)*len(pkts))
+		}
+		sr := res.Sessions[0]
+		for _, v := range tr.Nodes() {
+			if v == tr.Root() {
+				continue
+			}
+			rec := sr.Hosts[v]
+			if rec.Recvs != len(pkts) || !bytes.Equal(rec.Data, data) {
+				t.Fatalf("run %d: host %d got %d/%d packets, %d bytes, want %d",
+					i, v, rec.Recvs, len(pkts), len(rec.Data), len(data))
+			}
+			parent, _ := tr.Parent(v)
+			for k, a := range rec.Arrivals {
+				if a.Packet != k || a.From != parent {
+					t.Fatalf("run %d: host %d arrival %d = %+v, want packet %d from %d",
+						i, v, k, a, k, parent)
+				}
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package live
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -65,7 +66,16 @@ func inject(rt *runtime, s Session, root *ni, ns *niSession) {
 	for j, pkt := range s.Packets {
 		for _, l := range ns.links {
 			if err := l.Send(pkt, rt.abort); err != nil {
-				return // aborted; the collector already owns the error
+				if !errors.Is(err, link.ErrAborted) {
+					// A real transport failure (socket error), not a
+					// teardown: surface it instead of hanging into the
+					// watchdog.
+					select {
+					case rt.fail <- fmt.Errorf("live: inject %d->%d: %w", root.host, l.To(), err):
+					default:
+					}
+				}
+				return // aborted; the collector owns the verdict
 			}
 			ns.sends++
 			if rt.cfg.Record {
@@ -130,6 +140,9 @@ func (n *ni) serve(f link.Frame) error {
 	// held for the packet's full service residency, like the simulator's.
 	for _, l := range ns.links {
 		if err := l.Send(f.Payload, n.rt.abort); err != nil {
+			if !errors.Is(err, link.ErrAborted) {
+				return fmt.Errorf("live: host %d: forward to %d: %w", n.host, l.To(), err)
+			}
 			return nil // aborted mid-forward; collector owns the verdict
 		}
 		ns.sends++

@@ -335,7 +335,9 @@ func RunReliable(s Session, cfg ReliableConfig) (*ReliableResult, error) {
 		rt.views = append(rt.views, det.View())
 	}
 
-	rt.buildReliableFabric()
+	if err := rt.buildReliableFabric(); err != nil {
+		return nil, err
+	}
 	rt.start = time.Now()
 	chaos.Start(rt.start)
 	for _, n := range rt.nis {
@@ -353,7 +355,10 @@ func RunReliable(s Session, cfg ReliableConfig) (*ReliableResult, error) {
 // goroutines for every tree edge. The root's NI starts holding all m
 // packets, so edge seeding is uniform: every NI replays its held packets
 // into a newly attached child edge, packet-major like FPFS injection.
-func (rt *rrt) buildReliableFabric() {
+// With Live.Network set, every NI is attached to the network before any
+// edge is dialed; chaos decoration wraps the dialed transports the same
+// way it wraps in-process links.
+func (rt *rrt) buildReliableFabric() error {
 	slots := rt.cfg.Live.BufferPackets
 	for _, v := range rt.s.Tree.Nodes() {
 		capacity := 4*rt.m + 16
@@ -380,6 +385,18 @@ func (rt *rrt) buildReliableFabric() {
 		rt.nis[v] = n
 		rt.parent[v] = -1
 	}
+	if nw := rt.cfg.Live.Network; nw != nil {
+		attached := make([]int, 0, len(rt.nis))
+		for v, n := range rt.nis {
+			if err := nw.Attach(v, n.inbox); err != nil {
+				for _, a := range attached {
+					nw.Detach(a)
+				}
+				return fmt.Errorf("live: attach host %d: %w", v, err)
+			}
+			attached = append(attached, v)
+		}
+	}
 	for _, e := range rt.s.Tree.Edges() {
 		rt.newEdge(e.Parent, e.Child, true)
 	}
@@ -388,6 +405,7 @@ func (rt *rrt) buildReliableFabric() {
 	for _, n := range rt.nis {
 		sort.Slice(n.childEdges, func(i, j int) bool { return n.childEdges[i].to < n.childEdges[j].to })
 	}
+	return nil
 }
 
 // newEdge creates one directed edge incarnation: transport (chaos-
@@ -395,7 +413,21 @@ func (rt *rrt) buildReliableFabric() {
 // edges are wired into the NI structs directly (pre-start); dynamic ones
 // are announced over NI control channels by the caller.
 func (rt *rrt) newEdge(a, b int, static bool) *redge {
-	tr := rt.chaos.Wrap(link.New(a, rt.nis[b].inbox, rt.cfg.Live.LinkLatency))
+	var base link.Transport
+	if nw := rt.cfg.Live.Network; nw != nil {
+		t, err := nw.Dial(a, b)
+		if err != nil {
+			// A mid-run dial failure (regraft on a closing network) is an
+			// instantly dead incarnation: the sender goroutine hits the
+			// error on its first send and the edge-exhaustion machinery —
+			// built for exactly this — routes around it.
+			t = deadTransport{from: a, to: b, err: err}
+		}
+		base = t
+	} else {
+		base = link.New(a, rt.nis[b].inbox, rt.cfg.Live.LinkLatency)
+	}
+	tr := rt.chaos.Wrap(base)
 	e := &redge{
 		rt:     rt,
 		from:   a,
@@ -416,6 +448,20 @@ func (rt *rrt) newEdge(a, b int, static bool) *redge {
 		rt.nis[b].parents[a] = e
 	}
 	return e
+}
+
+// deadTransport is an edge whose dial failed: every Send reports the
+// dial error, so the retransmission plane retires it like any other
+// dead link.
+type deadTransport struct {
+	from, to int
+	err      error
+}
+
+func (d deadTransport) From() int { return d.from }
+func (d deadTransport) To() int   { return d.to }
+func (d deadTransport) Send([]byte, <-chan struct{}) error {
+	return fmt.Errorf("live: edge %d->%d never dialed: %w", d.from, d.to, d.err)
 }
 
 // supervise is the supervisor loop: collect heartbeats, completions and
@@ -540,6 +586,13 @@ func (rt *rrt) supervise() (*ReliableResult, error) {
 	wall := time.Since(rt.start)
 	close(rt.abort)
 	rt.wg.Wait()
+	if nw := rt.cfg.Live.Network; nw != nil {
+		// The NIs and edge senders are gone; detaching stops the receive
+		// pumps and unparks any deliverer still blocked on an inbox gate.
+		for v := range rt.nis {
+			nw.Detach(v)
+		}
+	}
 	// Completions that raced the verdict still count.
 	for {
 		select {

@@ -1,0 +1,413 @@
+// Package mcastd hosts a subset of a multicast tree's network
+// interfaces as one OS process. Where the live engine owns every host
+// of a run in a single address space, this engine owns only the hosts
+// named in Config.Local and reaches the rest through a UDP fabric whose
+// peer map the caller provides — the deployment shape of the paper's
+// NI-supported multicast: one P³FA-style forwarding loop per local NI,
+// packets crossing real sockets between processes.
+//
+// Every participating process must derive the identical tree, packet
+// set and message ID (the daemon binary derives them deterministically
+// from shared flags). Completion is coordinated over the fabric's
+// control plane: each destination repeats a DONE report to the root
+// until the root, having heard every destination, floods STOP.
+package mcastd
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/live/link"
+	"repro/internal/message"
+	"repro/internal/tree"
+)
+
+// Control-plane datagram payloads. DONE carries the reporting host;
+// STOP is bare. Both ride link.UDPNetwork's best-effort ctl kind, so
+// DONE is repeated until acknowledged by STOP and STOP is flooded
+// several times.
+const (
+	ctlDone = 1
+	ctlStop = 2
+
+	doneEvery = 120 * time.Millisecond
+	stopBurst = 5
+	stopGap   = 30 * time.Millisecond
+)
+
+// Config describes one process's share of a multicast run.
+type Config struct {
+	Tree    *tree.Tree // the full tree, identical in every process
+	Packets [][]byte   // the packetized message, identical in every process
+	MsgID   uint32
+	Local   []int // hosts this process runs; must be tree nodes
+	Net     *link.UDPNetwork
+
+	// BufferPackets bounds each local NI's buffer slots; 0 means a
+	// buffer deep enough that wire senders never block on this host.
+	BufferPackets int
+	// Timeout is the whole-run watchdog (default 30s).
+	Timeout time.Duration
+	// Log, when non-nil, receives one line per protocol milestone.
+	Log io.Writer
+}
+
+// HostReport is one local host's outcome.
+type HostReport struct {
+	Host   int
+	Sends  int
+	Recvs  int
+	Data   []byte        // reassembled message; nil at the root
+	DoneAt time.Duration // since process start; 0 at the root
+}
+
+// Result is a process's view of the run.
+type Result struct {
+	Hosts map[int]*HostReport
+	Wall  time.Duration
+	// Completed is filled only in the root's process: every destination
+	// (local and remote) whose DONE the root heard, sorted.
+	Completed []int
+}
+
+func (c *Config) logf(format string, args ...any) {
+	if c.Log != nil {
+		fmt.Fprintf(c.Log, "mcastd: "+format+"\n", args...)
+	}
+}
+
+// host is one local NI and its share of the session.
+type host struct {
+	id    int
+	inbox *link.Inbox
+	links []link.Transport
+	reasm *message.Reassembler
+	rep   *HostReport
+}
+
+// Run executes this process's share of the run and blocks until the
+// whole multicast completes (root: every destination reported DONE;
+// non-root: every local destination delivered and the root's STOP
+// arrived) or the watchdog fires.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Tree == nil || cfg.Net == nil {
+		return nil, fmt.Errorf("mcastd: config needs a tree and a network")
+	}
+	if len(cfg.Packets) == 0 {
+		return nil, fmt.Errorf("mcastd: no packets to multicast")
+	}
+	if len(cfg.Local) == 0 {
+		return nil, fmt.Errorf("mcastd: no local hosts")
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	root := cfg.Tree.Root()
+	m := len(cfg.Packets)
+	start := time.Now()
+
+	hosts := map[int]*host{}
+	for _, v := range cfg.Local {
+		if !cfg.Tree.Contains(v) {
+			return nil, fmt.Errorf("mcastd: local host %d is not in the tree", v)
+		}
+		if hosts[v] != nil {
+			return nil, fmt.Errorf("mcastd: local host %d listed twice", v)
+		}
+		capacity := m
+		if cfg.BufferPackets > 0 {
+			capacity = cfg.BufferPackets
+		}
+		h := &host{
+			id:    v,
+			inbox: link.NewInbox(v, capacity, cfg.BufferPackets),
+			rep:   &HostReport{Host: v},
+		}
+		if v != root {
+			h.reasm = message.NewReassembler()
+		}
+		hosts[v] = h
+	}
+
+	// Attach everything before dialing anything: a dialed peer may start
+	// sending the moment the root injects, and credits only flow from
+	// attached endpoints.
+	attached := make([]int, 0, len(hosts))
+	detachAll := func() {
+		for _, v := range attached {
+			cfg.Net.Detach(v)
+		}
+	}
+	for v, h := range hosts {
+		if err := cfg.Net.Attach(v, h.inbox); err != nil {
+			detachAll()
+			return nil, fmt.Errorf("mcastd: attach host %d: %w", v, err)
+		}
+		attached = append(attached, v)
+	}
+	for v, h := range hosts {
+		for _, c := range cfg.Tree.Children(v) {
+			t, err := cfg.Net.Dial(v, c)
+			if err != nil {
+				detachAll()
+				return nil, fmt.Errorf("mcastd: dial edge %d->%d: %w", v, c, err)
+			}
+			h.links = append(h.links, t)
+		}
+	}
+
+	abort := make(chan struct{})   // watchdog / fatal error
+	stopped := make(chan struct{}) // root's STOP observed (or sent)
+	var stopOnce sync.Once         // several local listeners may hear STOP
+	markStopped := func() { stopOnce.Do(func() { close(stopped) }) }
+	doneCh := make(chan int, len(hosts))
+	failCh := make(chan error, len(hosts)+1)
+	var wg sync.WaitGroup
+
+	// Forwarding loops: each non-root local host is a serial NI server —
+	// admit, forward to children (FPFS), reassemble, release.
+	for _, h := range hosts {
+		if h.id == root {
+			continue
+		}
+		wg.Add(1)
+		go func(h *host) {
+			defer wg.Done()
+			if err := serve(h, cfg, m, start, abort, doneCh); err != nil {
+				select {
+				case failCh <- err:
+				default:
+				}
+			}
+		}(h)
+	}
+
+	// Control listeners: destinations watch for STOP; the root collects
+	// DONE reports.
+	remoteDone := make(chan int, cfg.Tree.Size())
+	for _, h := range hosts {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			ctl := cfg.Net.Ctl(id)
+			for {
+				select {
+				case <-abort:
+					return
+				case <-stopped:
+					if id != root {
+						return
+					}
+					// The root keeps draining late DONEs until teardown
+					// so repeated reports never back up the ctl queue.
+					select {
+					case <-abort:
+						return
+					case <-ctl:
+					}
+				case b := <-ctl:
+					if len(b) >= 3 && b[0] == ctlDone && id == root {
+						// Non-blocking: DONE is repeated, so a full queue
+						// loses nothing and the listener can never stall.
+						select {
+						case remoteDone <- int(binary.BigEndian.Uint16(b[1:3])):
+						default:
+						}
+					}
+					if len(b) >= 1 && b[0] == ctlStop && id != root {
+						markStopped()
+						return
+					}
+				}
+			}
+		}(h.id)
+	}
+
+	// The injector: if the root is local, feed the tree packet-major.
+	if h, ok := hosts[root]; ok {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, pkt := range cfg.Packets {
+				for _, l := range h.links {
+					if err := l.Send(pkt, abort); err != nil {
+						select {
+						case failCh <- fmt.Errorf("mcastd: inject %d->%d: %w", root, l.To(), err):
+						default:
+						}
+						return
+					}
+					h.rep.Sends++
+				}
+			}
+			cfg.logf("root %d injected %d packets", root, m)
+		}()
+	}
+
+	err := coordinate(cfg, hosts, root, stopped, markStopped, doneCh, remoteDone, failCh)
+
+	close(abort)
+	detachAll()
+	wg.Wait()
+	for _, h := range hosts {
+		h.inbox.Close()
+	}
+
+	res := &Result{Hosts: map[int]*HostReport{}, Wall: time.Since(start)}
+	for v, h := range hosts {
+		res.Hosts[v] = h.rep
+	}
+	if _, ok := hosts[root]; ok && err == nil {
+		for _, v := range cfg.Tree.Nodes() {
+			if v != root {
+				res.Completed = append(res.Completed, v)
+			}
+		}
+		sort.Ints(res.Completed)
+	}
+	return res, err
+}
+
+// serve is the P³FA loop of one local destination NI: every admitted
+// packet is forwarded to the children before local reassembly, and the
+// buffer slot is held for the packet's full service residency. After
+// the message completes it reports DONE to the root until STOP.
+func serve(h *host, cfg Config, m int, start time.Time, abort <-chan struct{}, doneCh chan<- int) error {
+	root := cfg.Tree.Root()
+	for h.rep.Recvs < m {
+		f, ok := h.inbox.Recv(abort)
+		if !ok {
+			return nil // aborted
+		}
+		hd, err := message.DecodeHeader(f.Payload)
+		if err != nil {
+			return fmt.Errorf("mcastd: host %d: undecodable packet from %d: %v", h.id, f.From, err)
+		}
+		if hd.MsgID != cfg.MsgID {
+			return fmt.Errorf("mcastd: host %d: packet for unknown message %d", h.id, hd.MsgID)
+		}
+		h.rep.Recvs++
+		for _, l := range h.links {
+			if err := l.Send(f.Payload, abort); err != nil {
+				return nil // aborted mid-forward
+			}
+			h.rep.Sends++
+		}
+		done, err := h.reasm.Add(f.Payload)
+		if err != nil {
+			return fmt.Errorf("mcastd: host %d: packet %d: %v", h.id, hd.Seq, err)
+		}
+		h.inbox.Release()
+		if done {
+			h.rep.Data = h.reasm.Bytes()
+			h.rep.DoneAt = time.Since(start)
+			cfg.logf("host %d delivered %d bytes at %v", h.id, len(h.rep.Data), h.rep.DoneAt)
+			doneCh <- h.id
+		}
+	}
+	// Keep reporting DONE until the root's STOP (drained by the ctl
+	// listener) or teardown: the control plane is best-effort.
+	if h.id != root {
+		tick := time.NewTicker(doneEvery)
+		defer tick.Stop()
+		var buf [3]byte
+		buf[0] = ctlDone
+		binary.BigEndian.PutUint16(buf[1:], uint16(h.id))
+		for {
+			cfg.Net.SendCtl(h.id, root, buf[:])
+			select {
+			case <-abort:
+				return nil
+			case <-tick.C:
+			}
+		}
+	}
+	return nil
+}
+
+// coordinate blocks until this process's exit condition: the root waits
+// for every destination then floods STOP; a destination-only process
+// waits for its local deliveries plus the root's STOP.
+func coordinate(cfg Config, hosts map[int]*host, root int,
+	stopped chan struct{}, markStopped func(), doneCh <-chan int, remoteDone <-chan int, failCh <-chan error) error {
+
+	deadline := time.NewTimer(cfg.Timeout)
+	defer deadline.Stop()
+	_, rootLocal := hosts[root]
+	want := map[int]bool{}
+	for _, v := range cfg.Tree.Nodes() {
+		if v == root {
+			continue
+		}
+		if _, local := hosts[v]; local || rootLocal {
+			want[v] = true
+		}
+	}
+	got := map[int]bool{}
+	progress := func() string {
+		missing := make([]int, 0, len(want))
+		for v := range want {
+			if !got[v] {
+				missing = append(missing, v)
+			}
+		}
+		sort.Ints(missing)
+		return fmt.Sprintf("%d/%d done, waiting on %v (fabric %+v)", len(got), len(want), missing, cfg.Net.Stats())
+	}
+	for len(got) < len(want) {
+		select {
+		case v := <-doneCh:
+			if want[v] {
+				got[v] = true
+			}
+		case v := <-remoteDone:
+			if want[v] && !got[v] {
+				got[v] = true
+				cfg.logf("root heard DONE from remote host %d", v)
+			}
+		case err := <-failCh:
+			return err
+		case <-deadline.C:
+			return fmt.Errorf("mcastd: watchdog after %v: %s", cfg.Timeout, progress())
+		}
+	}
+	if rootLocal {
+		// Every destination is accounted for: flood STOP so remote
+		// reporters stand down, then finish. All-local runs have no one
+		// to notify and skip the burst gaps entirely.
+		var remote []int
+		for _, v := range cfg.Tree.Nodes() {
+			if v != root && !cfg.Net.Local(v) {
+				remote = append(remote, v)
+			}
+		}
+		if len(remote) > 0 {
+			cfg.logf("root heard all %d destinations; flooding STOP to %d remote hosts", len(want), len(remote))
+			for i := 0; i < stopBurst; i++ {
+				for _, v := range remote {
+					cfg.Net.SendCtl(root, v, []byte{ctlStop})
+				}
+				if i < stopBurst-1 {
+					time.Sleep(stopGap)
+				}
+			}
+		}
+		markStopped()
+		return nil
+	}
+	// Destination-only process: all local hosts delivered; hold on for
+	// the root's STOP so our DONE reports are known to have landed.
+	cfg.logf("all local hosts delivered; awaiting STOP")
+	select {
+	case <-stopped:
+		return nil
+	case err := <-failCh:
+		return err
+	case <-deadline.C:
+		return fmt.Errorf("mcastd: delivered everywhere locally but no STOP after %v: %s", cfg.Timeout, progress())
+	}
+}

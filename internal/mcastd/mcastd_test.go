@@ -1,0 +1,210 @@
+package mcastd
+
+import (
+	"bytes"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/live/link"
+	"repro/internal/message"
+	"repro/internal/tree"
+)
+
+func skipWithoutLoopback(t *testing.T) {
+	t.Helper()
+	c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Skipf("loopback UDP unavailable: %v", err)
+	}
+	c.Close()
+}
+
+func testPayload(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i*37 + 5)
+	}
+	return b
+}
+
+// TestAllLocal is the -all mode: every host of a binomial tree in one
+// process over one loopback fabric.
+func TestAllLocal(t *testing.T) {
+	skipWithoutLoopback(t)
+	chain := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	tr := tree.Binomial(chain)
+	data := testPayload(1000)
+	pkts, err := message.Packetize(1, 0, data, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := link.NewLoopbackUDP(tr.Nodes(), link.UDPConfig{Session: 0xA11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	res, err := Run(Config{
+		Tree: tr, Packets: pkts, MsgID: 1, Local: tr.Nodes(), Net: nw,
+		Timeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Completed) != len(chain)-1 {
+		t.Fatalf("Completed = %v, want all %d destinations", res.Completed, len(chain)-1)
+	}
+	for _, v := range chain[1:] {
+		rep := res.Hosts[v]
+		if rep == nil || !bytes.Equal(rep.Data, data) || rep.Recvs != len(pkts) {
+			t.Fatalf("host %d: %+v (want %d packets, %d bytes)", v, rep, len(pkts), len(data))
+		}
+		if rep.DoneAt <= 0 {
+			t.Fatalf("host %d missing completion timestamp", v)
+		}
+	}
+	if root := res.Hosts[0]; root.Sends != len(pkts)*len(tr.Children(0)) {
+		t.Fatalf("root sent %d copies, want %d", root.Sends, len(pkts)*len(tr.Children(0)))
+	}
+}
+
+// TestTwoDaemons splits one tree across two UDP fabrics — the
+// multi-process deployment, with DONE/STOP coordination crossing real
+// sockets — and checks byte-exact delivery plus a clean join on both
+// sides.
+func TestTwoDaemons(t *testing.T) {
+	skipWithoutLoopback(t)
+	chain := []int{0, 1, 2, 3, 4, 5}
+	tr := tree.Binomial(chain)
+	data := testPayload(700)
+	pkts, err := message.Packetize(7, 0, data, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localA, localB := []int{0, 1, 2}, []int{3, 4, 5}
+	cfg := link.UDPConfig{Session: 0x2DAE}
+	nwA, err := link.NewUDPNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nwA.Close()
+	nwB, err := link.NewUDPNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nwB.Close()
+	for _, v := range localA {
+		if _, err := nwA.Listen(v, "127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, v := range localB {
+		if _, err := nwB.Listen(v, "127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, v := range localA {
+		if err := nwB.AddPeer(v, nwA.Addr(v).String()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, v := range localB {
+		if err := nwA.AddPeer(v, nwB.Addr(v).String()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	var resA, resB *Result
+	var errA, errB error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		resA, errA = Run(Config{Tree: tr, Packets: pkts, MsgID: 7, Local: localA, Net: nwA, Timeout: 10 * time.Second})
+	}()
+	go func() {
+		defer wg.Done()
+		resB, errB = Run(Config{Tree: tr, Packets: pkts, MsgID: 7, Local: localB, Net: nwB, Timeout: 10 * time.Second})
+	}()
+	wg.Wait()
+	if errA != nil || errB != nil {
+		t.Fatalf("daemon A: %v, daemon B: %v", errA, errB)
+	}
+	if len(resA.Completed) != 5 {
+		t.Fatalf("root daemon Completed = %v, want all 5 destinations", resA.Completed)
+	}
+	for _, v := range []int{1, 2} {
+		if rep := resA.Hosts[v]; rep == nil || !bytes.Equal(rep.Data, data) {
+			t.Fatalf("daemon A host %d not byte-exact: %+v", v, rep)
+		}
+	}
+	for _, v := range localB {
+		if rep := resB.Hosts[v]; rep == nil || !bytes.Equal(rep.Data, data) {
+			t.Fatalf("daemon B host %d not byte-exact: %+v", v, rep)
+		}
+	}
+}
+
+// TestWatchdog pins the failure mode when a remote daemon never shows
+// up: the root process must time out with a report naming the missing
+// hosts, not hang.
+func TestWatchdog(t *testing.T) {
+	skipWithoutLoopback(t)
+	tr := tree.Binomial([]int{0, 1, 2, 3})
+	pkts, err := message.Packetize(1, 0, testPayload(64), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := link.NewUDPNetwork(link.UDPConfig{Session: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	if _, err := nw.Listen(0, "127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	// Hosts 1..3 "exist" (black-hole peers) but no daemon serves them.
+	sink, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+	for _, v := range []int{1, 2, 3} {
+		if err := nw.AddPeer(v, sink.LocalAddr().String()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err = Run(Config{Tree: tr, Packets: pkts, MsgID: 1, Local: []int{0}, Net: nw, Timeout: 400 * time.Millisecond})
+	if err == nil || !strings.Contains(err.Error(), "watchdog") {
+		t.Fatalf("want watchdog error, got %v", err)
+	}
+}
+
+// TestConfigRejects pins the construction errors.
+func TestConfigRejects(t *testing.T) {
+	skipWithoutLoopback(t)
+	tr := tree.Binomial([]int{0, 1})
+	pkts, _ := message.Packetize(1, 0, []byte("x"), 64)
+	nw, err := link.NewLoopbackUDP(tr.Nodes(), link.UDPConfig{Session: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"nil-tree", Config{Packets: pkts, Local: []int{0}, Net: nw}},
+		{"nil-net", Config{Tree: tr, Packets: pkts, Local: []int{0}}},
+		{"no-packets", Config{Tree: tr, Local: []int{0}, Net: nw}},
+		{"no-locals", Config{Tree: tr, Packets: pkts, Net: nw}},
+		{"foreign-local", Config{Tree: tr, Packets: pkts, Local: []int{9}, Net: nw}},
+		{"duplicate-local", Config{Tree: tr, Packets: pkts, Local: []int{0, 0}, Net: nw}},
+	} {
+		if _, err := Run(tc.cfg); err == nil {
+			t.Errorf("%s: Run accepted a bad config", tc.name)
+		}
+	}
+}
