@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check staticcheck mcastcheck soak chaos-soak net-soak bench ci figures clean live-race
+.PHONY: all build test race vet fmt check staticcheck mcastcheck soak chaos-soak net-soak daemon-soak bench ci figures clean live-race
 
 all: check
 
@@ -82,6 +82,20 @@ net-soak:
 	$(GO) run -race ./cmd/mcastcheck -n 150 -seed 5 -workers 4 -only net-matches-live
 	$(GO) run -race ./cmd/mcastd -all -dims 4 -bytes 16384
 
+# Daemon soak: the reliable deployment rung. Runs the lossy two-process
+# soak sweep (crossed daemon engines over real loopback UDP at 1–5%
+# drop), the SIGKILL crash test (a child daemon process killed
+# mid-transfer; the surviving root must confirm the crash, adopt the
+# orphaned subtrees per Fig. 11, and settle a typed delivered-partial
+# verdict), the zero-fault structural-identity pin, and a 120-case
+# net-faulty-delivery sweep — all under the race detector, since the
+# daemon coordinator, NI loops, edge senders and ctl listeners are real
+# concurrent code. Skips cleanly where loopback sockets are unavailable.
+daemon-soak:
+	$(GO) test -race -run 'TestReliable|TestTwoDaemonsLossy|TestDaemonCrash' -count=1 ./internal/mcastd
+	$(GO) test -race -run TestDaemonFaultySweep -count=1 ./internal/check
+	$(GO) run -race ./cmd/mcastcheck -n 120 -seed 9 -workers 4 -only net-faulty-delivery
+
 # Bench: the tracked performance baseline. Runs the engine event-loop,
 # harness-throughput and reliable-delivery suites with -benchmem and
 # records the parsed results as BENCH_sim.json (see DESIGN.md §10 for how
@@ -89,19 +103,23 @@ net-soak:
 # reflect perf drift, not iteration-count noise. The harness-throughput
 # pair runs separately at a smaller fixed count: one op is a full 64-case
 # catalogue sweep (~2s since the chaos invariants joined it), so 200x
-# would blow the per-package test timeout. Two commands, no pipe on the
-# test runs, so a benchmark failure fails the target instead of being
-# swallowed by the pipe's exit status.
+# would blow the per-package test timeout. The daemon deployment pair
+# (reliable mcastd, lossless vs 1% drop over loopback UDP) runs at 100x:
+# each op is a full 17-host socket-fabric run. Separate commands, no pipe
+# on the test runs, so a benchmark failure fails the target instead of
+# being swallowed by the pipe's exit status.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngine|BenchmarkReliable|BenchmarkEventSimMulticast|BenchmarkLive' \
 		-benchmem -benchtime 200x ./internal/sim ./internal/live . > bench-raw.out
 	$(GO) test -run '^$$' -bench 'BenchmarkCheckCases' \
 		-benchmem -benchtime 25x -timeout 20m ./internal/check >> bench-raw.out
+	$(GO) test -run '^$$' -bench 'BenchmarkDaemonReliable' \
+		-benchmem -benchtime 100x ./internal/mcastd >> bench-raw.out
 	$(GO) run ./cmd/benchjson -echo < bench-raw.out > BENCH_sim.json
 	@rm -f bench-raw.out
 	@echo "wrote BENCH_sim.json"
 
-ci: check staticcheck live-race mcastcheck chaos-soak net-soak
+ci: check staticcheck live-race mcastcheck chaos-soak net-soak daemon-soak
 
 figures:
 	$(GO) run ./cmd/figures -out figures

@@ -20,9 +20,20 @@
 //	mcastd -hosts 2,3 -bind 2=127.0.0.1:9002,3=127.0.0.1:9003 \
 //	       -peers 0=127.0.0.1:9000,1=127.0.0.1:9001 -dests 3
 //
+// With -reliable the daemons run the loss- and crash-tolerant protocol:
+// per-edge retransmission with epoch fencing, process heartbeats, and
+// Fig.-11 adoption of subtrees orphaned by a killed peer daemon. The
+// root then settles a typed verdict (delivered, delivered-partial with
+// -quorum, or failed) instead of wedging on the first lost datagram.
+// -droprate arms a seeded self-test chaos plane on this process's data
+// transports:
+//
+//	mcastd -all -reliable -droprate 0.03 -dests 15 -bytes 8192
+//
 // The root's process exits once every destination has reported DONE;
-// destination processes exit when the root floods STOP. Exit status is
-// 1 on a watchdog timeout or delivery failure, 2 on a usage error.
+// destination processes exit when the root floods STOP (an acknowledged
+// exchange retried until -drain expires). Exit status is 1 on a
+// watchdog timeout or delivery failure, 2 on a usage error.
 package main
 
 import (
@@ -65,6 +76,12 @@ func run(args []string, out, errw io.Writer) int {
 		window  = fs.Int("window", 0, "per-edge credit window in fragments (0 = default)")
 		buffer  = fs.Int("buffer", 0, "NI buffer slots per host (0 = unbounded)")
 		timeout = fs.Duration("timeout", 30*time.Second, "whole-run watchdog")
+		relF    = fs.Bool("reliable", false, "run the loss- and crash-tolerant protocol (retransmission, heartbeats, adoption)")
+		dropF   = fs.Float64("droprate", 0, "reliable mode: seeded self-test drop rate on this process's data plane [0,1)")
+		rtoF    = fs.Duration("rto", 0, "reliable mode: base retransmission timeout (0 = default)")
+		retryF  = fs.Int("retries", 0, "reliable mode: per-packet retransmission budget (0 = default)")
+		quorumF = fs.Int("quorum", 0, "reliable mode: destinations required for a partial verdict (0 = all)")
+		drainF  = fs.Duration("drain", 0, "graceful-shutdown bound on the root's STOP handshake (0 = default)")
 		all     = fs.Bool("all", false, "host every NI in this process over loopback sockets")
 		hostsF  = fs.String("hosts", "", "comma-separated hosts this process runs (multi-process mode)")
 		bindF   = fs.String("bind", "", "local bind addresses: HOST=ADDR,... (multi-process mode)")
@@ -202,16 +219,50 @@ func run(args []string, out, errw io.Writer) int {
 		Net:           nw,
 		BufferPackets: *buffer,
 		Timeout:       *timeout,
+		Drain:         *drainF,
 	}
 	if *verbose {
 		mcfg.Log = errw
 	}
-	res, err := mcastd.Run(mcfg)
+	var res *mcastd.Result
+	if *relF {
+		rcfg := mcastd.DefaultReliableConfig()
+		if *rtoF > 0 {
+			rcfg.RTO = *rtoF
+			if rcfg.RTOMax < rcfg.RTO {
+				rcfg.RTOMax = 10 * rcfg.RTO
+			}
+		}
+		if *retryF > 0 {
+			rcfg.RetryBudget = *retryF
+		}
+		rcfg.Quorum = *quorumF
+		if *dropF > 0 {
+			rcfg.Faults = link.Faults{Seed: *session ^ 0xD20B, DropRate: *dropF}
+		}
+		res, err = mcastd.RunReliable(mcfg, rcfg)
+	} else {
+		if *dropF > 0 {
+			fmt.Fprintln(errw, "mcastd: -droprate requires -reliable (the plain engine wedges on loss)")
+			return 2
+		}
+		res, err = mcastd.Run(mcfg)
+	}
 	if err != nil {
 		fmt.Fprintf(errw, "mcastd: %v\n", err)
+		if res != nil && len(res.Completed) > 0 {
+			fmt.Fprintf(out, "partial progress: %d/%d destinations confirmed\n", len(res.Completed), len(spec.Dests))
+		}
 		return 1
 	}
 	fmt.Fprintf(out, "done in %v (fabric %+v)\n", res.Wall.Round(time.Microsecond), nw.Stats())
+	if *relF {
+		fmt.Fprintf(out, "verdict %v: epoch %d, %d retransmits, %d duplicates, %d adoptions\n",
+			res.Status, res.Epoch, res.Retransmits, res.Duplicates, res.Adoptions)
+		if len(res.Crashed) > 0 {
+			fmt.Fprintf(out, "crashed hosts: %v; undelivered: %v\n", res.Crashed, res.Orphaned)
+		}
+	}
 	if len(res.Completed) > 0 {
 		fmt.Fprintf(out, "root confirmed %d/%d destinations\n", len(res.Completed), len(spec.Dests))
 	}

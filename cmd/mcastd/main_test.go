@@ -34,6 +34,26 @@ func TestAllMode(t *testing.T) {
 	}
 }
 
+// TestReliableAllMode runs the reliable deployment under a seeded 3%
+// self-test drop plane: the run must still exit 0 with a Delivered
+// verdict and byte-exact confirmation for every destination.
+func TestReliableAllMode(t *testing.T) {
+	skipWithoutLoopback(t)
+	var out, errw bytes.Buffer
+	code := run([]string{"-all", "-reliable", "-droprate", "0.03",
+		"-dims", "3", "-bytes", "1500", "-packet", "128"}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errw.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "verdict delivered:") {
+		t.Fatalf("missing verdict line:\n%s", s)
+	}
+	if !strings.Contains(s, "root confirmed 7/7 destinations") {
+		t.Fatalf("missing confirmation line:\n%s", s)
+	}
+}
+
 // TestUsageErrors pins exit code 2 on bad invocations.
 func TestUsageErrors(t *testing.T) {
 	for _, tc := range []struct {

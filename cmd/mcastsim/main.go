@@ -404,8 +404,9 @@ func runLiveReliable(sys *repro.System, plan *repro.Plan, droprate float64, faul
 	cfg.RetryBudget = retries
 	cfg.Quorum = quorum
 	cfg.Live.Timeout = timeout
+	var nw *link.UDPNetwork
 	if overUDP {
-		nw, err := link.NewLoopbackUDP(plan.Tree.Nodes(), link.UDPConfig{Session: wseed + 1})
+		nw, err = link.NewLoopbackUDP(plan.Tree.Nodes(), link.UDPConfig{Session: wseed + 1})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mcastsim: loopback fabric: %v\n", err)
 			os.Exit(1)
@@ -452,6 +453,12 @@ func runLiveReliable(sys *repro.System, plan *repro.Plan, droprate float64, faul
 		res.Latency.Round(time.Microsecond), res.Sends, res.Retransmits, res.Duplicates, res.Fenced)
 	fmt.Printf("        injected: %d dropped, %d corrupted, %d reordered, %d acks lost, %d dead-link sends\n",
 		res.Faults.Dropped, res.Faults.Corrupted, res.Faults.Reordered, res.Faults.AcksDropped, res.Faults.DeadSends)
+	if overUDP {
+		// The socket fabric's own counters, distinct from the injected
+		// chaos: resyncs or bad datagrams here mean the wire itself (not
+		// the decorator) mangled traffic the protocol had to absorb.
+		fmt.Printf("        fabric: %+v\n", nw.Stats())
+	}
 	if len(cfg.Crashes) > 0 {
 		fmt.Printf("        crashes: %d crash-dropped frames, %d adoptions, final epoch %d\n",
 			res.CrashDrops, res.Adoptions, res.Epoch)

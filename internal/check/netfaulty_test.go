@@ -1,0 +1,38 @@
+package check
+
+import "testing"
+
+// TestDaemonFaultySweep is the acceptance gate for the reliable
+// multi-process deployment: 120 seeded harness instances, each split
+// across two cooperating daemon engines joined only by loopback UDP,
+// each run under a seeded 1–5% drop plane. The catalogue invariant
+// fires only on instances the generator made lossy; this sweep forces
+// the arm on every case so the gate's coverage does not depend on the
+// generator's fault mix. CI runs it under -race, so the daemon's
+// coordinator, NI loops, edge senders and ctl listeners are
+// concurrency-validated at the same time.
+func TestDaemonFaultySweep(t *testing.T) {
+	if !loopbackUDPAvailable() {
+		t.Skip("loopback UDP unavailable in this environment")
+	}
+	const cases = 120
+	failed := 0
+	for c := 0; c < cases; c++ {
+		inst := Generate(9, c)
+		inst.Crashes = nil // the deployment arm exercises wire loss, not membership
+		if inst.DropRate == 0 {
+			inst.DropRate = 0.02 // force the lossy arm regardless of the draw
+		}
+		w, err := safeBuild(inst)
+		if err != nil {
+			t.Fatalf("case %d: build: %v", c, err)
+		}
+		if err := daemonFaultyCase(w); err != nil {
+			failed++
+			t.Errorf("case %d (seed 9): %v", c, err)
+			if failed >= 5 {
+				t.Fatal("stopping after 5 deployment-sweep failures")
+			}
+		}
+	}
+}

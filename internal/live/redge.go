@@ -4,8 +4,6 @@ import (
 	"time"
 
 	"repro/internal/live/link"
-	"repro/internal/message"
-	"repro/internal/workload"
 )
 
 // rack is one acknowledgment from a receiving NI to its parent edge,
@@ -15,169 +13,52 @@ type rack struct {
 	seq, epoch int
 }
 
-// redge is one live tree-edge incarnation: a dedicated sender goroutine
-// owning the edge's transport, pending set and retransmission timers.
-// Packets are sent serially in enqueue order (sequence order from a
-// single parent), so the p=0 fault plane reproduces the lossless
-// engine's per-edge FIFO behavior exactly.
+// redge is one live tree-edge incarnation: the reusable EdgeSender
+// protocol loop wired into this runtime's crash schedule, epoch
+// register and supervisor control channel. The multi-process daemon
+// drives the same EdgeSender with its own hooks.
 type redge struct {
 	rt       *rrt
 	from, to int
-	tr       link.Transport
-	in       chan int      // novel/replayed sequence numbers from the owning NI
-	acks     chan rack     // from the receiving NI (lossy: overflow drops)
-	cancel   chan struct{} // closed by the supervisor to retire the incarnation
-	jrng     *workload.RNG // backoff jitter stream
-
-	// Goroutine-owned; the supervisor reads them after the WaitGroup
-	// drains (cancelled edges keep their counts — they happened).
-	acked       []bool
-	sends       int
-	retransmits int
-	fenced      int // stale-epoch ACKs discarded
+	es       *EdgeSender
 }
 
-// enqueue hands a sequence number to the edge sender. Channel capacity
-// covers the worst case (one replay plus one novel pass over the whole
-// message), so this blocks only if that invariant is broken — and then
-// the abort path still unwedges it.
-func (e *redge) enqueue(seq int) {
-	select {
-	case e.in <- seq:
-	case <-e.rt.abort:
-	}
-}
-
-// ack delivers an acknowledgment without ever blocking the receiving NI;
-// an overflowing (or retired) edge just loses the ACK, and the
-// retransmission path recovers.
-func (e *redge) ack(a rack) {
-	select {
-	case e.acks <- a:
-	default:
-	}
-}
-
-// flight is one unacknowledged packet's retransmission state.
-type flight struct {
-	attempts int
-	due      time.Time
-}
-
-// run is the edge sender loop: send new sequences immediately (the
-// transport's admission gate is the only send window), retransmit on
-// timer with capped exponential backoff plus seeded jitter, retire on
-// ACK, die on budget exhaustion (reporting to the supervisor), cancel,
-// or abort.
-func (e *redge) run() {
-	inflight := map[int]*flight{}
-	timer := time.NewTimer(time.Hour)
-	defer timer.Stop()
-	for {
-		wake := time.Hour
-		now := time.Now()
-		for _, fl := range inflight {
-			if r := fl.due.Sub(now); r < wake {
-				wake = r
-			}
-		}
-		if wake < 0 {
-			wake = 0
-		}
-		if !timer.Stop() {
-			select {
-			case <-timer.C:
-			default:
-			}
-		}
-		timer.Reset(wake)
-
+// newRedge binds an EdgeSender incarnation to the runtime: sends are
+// suppressed while the owning host is down (still burning retry budget,
+// so a long crash exhausts the edge and triggers repair even before the
+// detector confirms), transmissions are stamped with the runtime epoch,
+// and both budget exhaustion and transport death report ctlExhausted so
+// the supervisor repairs or abandons the subtree behind the edge.
+func newRedge(rt *rrt, a, b int, tr link.Transport) *redge {
+	e := &redge{rt: rt, from: a, to: b}
+	report := func() {
 		select {
-		case seq := <-e.in:
-			if e.acked[seq] {
-				continue
-			}
-			if _, dup := inflight[seq]; dup {
-				continue
-			}
-			if !e.send(seq, false) {
-				return
-			}
-			inflight[seq] = &flight{attempts: 1, due: time.Now().Add(e.rto(1))}
-		case a := <-e.acks:
-			if a.epoch < int(e.rt.epoch.Load()) {
-				e.fenced++ // stale control traffic: ignore, retransmit fresh
-				continue
-			}
-			if a.seq >= 0 && a.seq < len(e.acked) && !e.acked[a.seq] {
-				e.acked[a.seq] = true
-				delete(inflight, a.seq)
-			}
-		case <-timer.C:
-			now := time.Now()
-			for seq, fl := range inflight {
-				if fl.due.After(now) {
-					continue
-				}
-				if fl.attempts > e.rt.cfg.RetryBudget {
-					// Budget spent: this incarnation dies; the supervisor
-					// repairs or abandons the subtree behind it.
-					select {
-					case e.rt.ctl <- rctl{kind: ctlExhausted, host: e.from, to: e.to}:
-					case <-e.rt.abort:
-					}
-					return
-				}
-				if !e.send(seq, true) {
-					return
-				}
-				fl.attempts++
-				fl.due = now.Add(e.rto(fl.attempts))
-			}
-		case <-e.cancel:
-			return
-		case <-e.rt.abort:
-			return
+		case rt.ctl <- rctl{kind: ctlExhausted, host: a, to: b}:
+		case <-rt.abort:
 		}
 	}
+	e.es = NewEdgeSender(tr, EdgeSenderConfig{
+		Packets:     rt.s.Packets,
+		RTO:         rt.cfg.RTO,
+		RTOMax:      rt.cfg.RTOMax,
+		RetryBudget: rt.cfg.RetryBudget,
+		JitterSeed:  rt.cfg.Faults.Seed ^ 0x9e6c_a61b_60ca_77d5 ^ uint64(a+1)<<20 ^ uint64(b+1),
+		Abort:       rt.abort,
+		Epoch:       func() int { return int(rt.epoch.Load()) },
+		Suppressed:  func() bool { return rt.down(a, time.Since(rt.start)) },
+		OnExhausted: report,
+		OnDead:      func(error) { report() },
+	})
+	return e
 }
 
-// send injects one (re)transmission, stamped with the current epoch when
-// the membership plane is armed. A send while the owning host is down
-// vanishes silently — a crashed NI emits nothing — but the attempt still
-// burns retry budget, so a long crash exhausts the edge and triggers
-// repair even before the detector confirms. Returns false on abort.
-func (e *redge) send(seq int, retrans bool) bool {
-	if e.rt.down(e.from, time.Since(e.rt.start)) {
-		return true
-	}
-	pkt := e.rt.s.Packets[seq]
-	if g := e.rt.epoch.Load(); g > 0 {
-		if stamped, err := message.WithEpoch(pkt, uint16(g)); err == nil {
-			pkt = stamped
-		}
-	}
-	if err := e.tr.Send(pkt, e.rt.abort); err != nil {
-		return false
-	}
-	e.sends++
-	if retrans {
-		e.retransmits++
-	}
-	return true
-}
+// enqueue hands a sequence number to the edge sender.
+func (e *redge) enqueue(seq int) { e.es.Enqueue(seq) }
 
-// rto returns the retransmission timeout for the given attempt count:
-// base RTO doubling per attempt, capped, widened by a jitter draw from
-// the edge's private stream (decorrelated from the chaos plane's loss
-// stream, like sim's jrng).
-func (e *redge) rto(attempt int) time.Duration {
-	d := e.rt.cfg.RTO
-	for i := 1; i < attempt && d < e.rt.cfg.RTOMax; i++ {
-		d *= 2
-	}
-	if d > e.rt.cfg.RTOMax {
-		d = e.rt.cfg.RTOMax
-	}
-	return d + time.Duration(e.jrng.Float64()*0.25*float64(d))
-}
+// ack delivers an acknowledgment without ever blocking the receiving NI.
+func (e *redge) ack(a rack) { e.es.Ack(EdgeAck{Seq: a.seq, Epoch: a.epoch}) }
+
+// run is the edge sender loop; it returns when the edge dies (ACK-
+// complete never kills an edge — cancel, abort, exhaustion or transport
+// death do).
+func (e *redge) run() { e.es.Run() }

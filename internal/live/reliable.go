@@ -12,7 +12,6 @@ import (
 	"repro/internal/message"
 	"repro/internal/reliable"
 	"repro/internal/tree"
-	"repro/internal/workload"
 )
 
 // This file is the live port of internal/reliable: the same protocol —
@@ -427,18 +426,7 @@ func (rt *rrt) newEdge(a, b int, static bool) *redge {
 	} else {
 		base = link.New(a, rt.nis[b].inbox, rt.cfg.Live.LinkLatency)
 	}
-	tr := rt.chaos.Wrap(base)
-	e := &redge{
-		rt:     rt,
-		from:   a,
-		to:     b,
-		tr:     tr,
-		in:     make(chan int, 2*rt.m+8),
-		acks:   make(chan rack, 4*rt.m+16),
-		cancel: make(chan struct{}),
-		acked:  make([]bool, rt.m),
-		jrng:   workload.NewRNG(rt.cfg.Faults.Seed ^ 0x9e6c_a61b_60ca_77d5 ^ uint64(a+1)<<20 ^ uint64(b+1)),
-	}
+	e := newRedge(rt, a, b, rt.chaos.Wrap(base))
 	rt.edges[[2]int{a, b}] = e
 	rt.allEdges = append(rt.allEdges, e)
 	rt.parent[b] = a
@@ -652,10 +640,10 @@ func (rt *rrt) supervise() (*ReliableResult, error) {
 	}
 	sendsBy := map[int]int{}
 	for _, e := range rt.allEdges {
-		res.Sends += e.sends
-		res.Retransmits += e.retransmits
-		res.Fenced += e.fenced
-		sendsBy[e.from] += e.sends
+		res.Sends += e.es.Sends()
+		res.Retransmits += e.es.Retransmits()
+		res.Fenced += e.es.Fenced()
+		sendsBy[e.from] += e.es.Sends()
 	}
 	dests := 0
 	for _, v := range rt.s.Tree.Nodes() {
@@ -826,7 +814,7 @@ func (rt *rrt) killEdge(a, b int) {
 		return
 	}
 	delete(rt.edges, key)
-	close(e.cancel)
+	e.es.Cancel()
 	for i, c := range rt.children[a] {
 		if c == b {
 			rt.children[a] = append(rt.children[a][:i], rt.children[a][i+1:]...)

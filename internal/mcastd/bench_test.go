@@ -1,0 +1,74 @@
+package mcastd
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/live/link"
+	"repro/internal/message"
+	"repro/internal/reliable"
+	"repro/internal/tree"
+)
+
+func skipWithoutLoopbackB(b *testing.B) {
+	b.Helper()
+	c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		b.Skipf("loopback UDP unavailable: %v", err)
+	}
+	c.Close()
+}
+
+// benchDaemonReliable is the deployment rung of the tracked reliable
+// benchmark pair: a 16-destination binomial broadcast where every host
+// lives in one daemon engine but every tree edge crosses a real
+// loopback UDP socket. The lossless run prices the reliable machinery
+// itself (ACK tracking, heartbeats, epoch bookkeeping) on a clean wire;
+// the 1%-drop run adds the cost of real retransmission and duplicate
+// suppression. Each iteration provisions a fresh fabric — port binding
+// is part of a networked run's price, and a reused lossy fabric would
+// leak stale datagrams into the next iteration.
+func benchDaemonReliable(b *testing.B, droprate float64) {
+	skipWithoutLoopbackB(b)
+	chain := make([]int, 17)
+	for i := range chain {
+		chain[i] = i
+	}
+	tr := tree.Binomial(chain)
+	data := testPayload(2048)
+	pkts, err := message.Packetize(1, 0, data, 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rcfg := DefaultReliableConfig()
+	rcfg.RTO = 5 * time.Millisecond
+	rcfg.RTOMax = 40 * time.Millisecond
+	if droprate > 0 {
+		rcfg.Faults = link.Faults{Seed: 9, DropRate: droprate}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw, err := link.NewLoopbackUDP(tr.Nodes(), link.UDPConfig{Session: uint64(i) + 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := RunReliable(Config{
+			Tree: tr, Packets: pkts, MsgID: 1, Local: tr.Nodes(), Net: nw,
+			Timeout: time.Minute,
+		}, rcfg)
+		if err != nil {
+			nw.Close()
+			b.Fatal(err)
+		}
+		if res.Status != reliable.Delivered {
+			nw.Close()
+			b.Fatalf("status %v, want delivered", res.Status)
+		}
+		nw.Close()
+	}
+}
+
+func BenchmarkDaemonReliable16x8Lossless(b *testing.B) { benchDaemonReliable(b, 0) }
+func BenchmarkDaemonReliable16x8Drop1pct(b *testing.B) { benchDaemonReliable(b, 0.01) }

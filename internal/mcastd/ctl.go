@@ -1,0 +1,86 @@
+package mcastd
+
+import (
+	"encoding/binary"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// Control-plane datagram payloads. The fabric's ctl kind is best-effort
+// (lossy, unordered, bounded queue), so every exchange that matters is
+// either acknowledged and retried with backoff (DONE/DONE-ACK,
+// STOP/STOP-ACK, EXHAUSTED/KILL) or idempotent and periodically
+// refreshed (GRAFT, EPOCH, BEAT). The fabric's pump delivers only the
+// payload bytes — the datagram's From header is lost — so every message
+// that needs a sender carries it explicitly.
+//
+// Wire shape: payload[0] is the kind; fields are big-endian uint16s at
+// 1+2i. ctlStop appends one trailing status byte after its field.
+const (
+	ctlDone      = 1  // [k, host]            dest -> root: message delivered
+	ctlStop      = 2  // [k, epoch][status]   root -> dest: run over (legacy bare [k] accepted)
+	ctlDoneAck   = 3  // [k, host]            root -> dest: your DONE is recorded
+	ctlStopAck   = 4  // [k, host]            dest -> root: your STOP landed
+	ctlBeat      = 5  // [k, host]            dest -> root: process liveness
+	ctlAck       = 6  // [k, child, seq, epoch]        child -> parent: data ACK
+	ctlGraft     = 7  // [k, parent, child, epoch]     root -> parent's process: add edge
+	ctlKill      = 8  // [k, parent, child, epoch]     root -> parent's process: drop edge
+	ctlEpoch     = 9  // [k, epoch]                    root -> all: epoch advance
+	ctlExhausted = 10 // [k, parent, child, gen]       parent's process -> root: edge died
+)
+
+// Handshake cadence. DONE and STOP retries back off exponentially with
+// jitter so a partitioned or slow root never sees synchronized floods;
+// the STOP exchange is additionally bounded by Config.Drain so a dead
+// peer cannot stall the root's exit.
+const (
+	doneRetryBase = 25 * time.Millisecond
+	doneRetryMax  = 400 * time.Millisecond
+	stopRetryBase = 20 * time.Millisecond
+	stopRetryMax  = 250 * time.Millisecond
+	defaultDrain  = time.Second
+)
+
+// ctlMsg encodes kind plus big-endian uint16 fields.
+func ctlMsg(kind byte, fields ...int) []byte {
+	b := make([]byte, 1+2*len(fields))
+	b[0] = kind
+	for i, f := range fields {
+		binary.BigEndian.PutUint16(b[1+2*i:], uint16(f))
+	}
+	return b
+}
+
+// ctlField decodes field i of a ctl payload, or -1 when the payload is
+// too short (truncated datagrams are dropped by the caller's checks).
+func ctlField(b []byte, i int) int {
+	if len(b) < 1+2*(i+1) {
+		return -1
+	}
+	return int(binary.BigEndian.Uint16(b[1+2*i:]))
+}
+
+// backoff is a capped exponential retry pacer with seeded jitter,
+// shared by every acknowledged ctl exchange.
+type backoff struct {
+	cur, base, max time.Duration
+	rng            *workload.RNG
+}
+
+func newBackoff(base, max time.Duration, seed uint64) *backoff {
+	return &backoff{cur: base, base: base, max: max, rng: workload.NewRNG(seed)}
+}
+
+// next returns the current delay widened by up to 25% jitter, then
+// doubles the base for the following retry.
+func (b *backoff) next() time.Duration {
+	d := b.cur + time.Duration(b.rng.Float64()*0.25*float64(b.cur))
+	if b.cur < b.max {
+		b.cur *= 2
+		if b.cur > b.max {
+			b.cur = b.max
+		}
+	}
+	return d
+}

@@ -9,12 +9,19 @@
 // Every participating process must derive the identical tree, packet
 // set and message ID (the daemon binary derives them deterministically
 // from shared flags). Completion is coordinated over the fabric's
-// control plane: each destination repeats a DONE report to the root
-// until the root, having heard every destination, floods STOP.
+// control plane with an acknowledged handshake: each destination
+// retries a DONE report (exponential backoff + jitter) until the root
+// acknowledges it, and the root retries STOP per remote host until
+// acknowledged or the drain deadline passes.
+//
+// Run drives the unreliable engine — correct on a lossless fabric,
+// wedging on loss. RunReliable (reliable.go) layers retransmission,
+// duplicate suppression, process-level failure detection and Fig.-11
+// orphan adoption on the same fabric.
 package mcastd
 
 import (
-	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -23,20 +30,8 @@ import (
 
 	"repro/internal/live/link"
 	"repro/internal/message"
+	"repro/internal/reliable"
 	"repro/internal/tree"
-)
-
-// Control-plane datagram payloads. DONE carries the reporting host;
-// STOP is bare. Both ride link.UDPNetwork's best-effort ctl kind, so
-// DONE is repeated until acknowledged by STOP and STOP is flooded
-// several times.
-const (
-	ctlDone = 1
-	ctlStop = 2
-
-	doneEvery = 120 * time.Millisecond
-	stopBurst = 5
-	stopGap   = 30 * time.Millisecond
 )
 
 // Config describes one process's share of a multicast run.
@@ -52,6 +47,10 @@ type Config struct {
 	BufferPackets int
 	// Timeout is the whole-run watchdog (default 30s).
 	Timeout time.Duration
+	// Drain bounds the root's graceful shutdown: how long it retries
+	// STOP at unacknowledged remote hosts before giving up (default 1s),
+	// so a dead peer cannot stall the root's exit.
+	Drain time.Duration
 	// Log, when non-nil, receives one line per protocol milestone.
 	Log io.Writer
 }
@@ -70,8 +69,30 @@ type Result struct {
 	Hosts map[int]*HostReport
 	Wall  time.Duration
 	// Completed is filled only in the root's process: every destination
-	// (local and remote) whose DONE the root heard, sorted.
+	// (local and remote) whose DONE the root heard, sorted. It reflects
+	// actual progress, so a watchdog or transport error still reports
+	// the destinations that made it.
 	Completed []int
+
+	// Status is the typed verdict: Delivered on full success,
+	// DeliveredPartial when a reliable run lost processes but reached
+	// quorum, Failed otherwise.
+	Status reliable.Status
+	// Epoch is the final membership epoch (reliable runs; 0 unarmed).
+	Epoch int
+	// Orphaned lists destinations never delivered (root process only).
+	Orphaned []int
+	// Crashed lists hosts whose process the root confirmed dead
+	// (reliable runs, root process only).
+	Crashed []int
+	// Retransmits, Duplicates and Fenced count the reliable data
+	// plane's recovery work across local hosts (0 for Run).
+	Retransmits int
+	Duplicates  int
+	Fenced      int
+	// Adoptions counts Fig.-11 re-grafts ordered by the root (reliable
+	// runs, root process only).
+	Adoptions int
 }
 
 func (c *Config) logf(format string, args ...any) {
@@ -82,12 +103,16 @@ func (c *Config) logf(format string, args ...any) {
 
 // host is one local NI and its share of the session.
 type host struct {
-	id    int
-	inbox *link.Inbox
-	links []link.Transport
-	reasm *message.Reassembler
-	rep   *HostReport
+	id      int
+	inbox   *link.Inbox
+	links   []link.Transport
+	reasm   *message.Reassembler
+	rep     *HostReport
+	doneAck chan struct{} // root acknowledged this host's DONE
+	ackOnce sync.Once
 }
+
+func (h *host) markDoneAck() { h.ackOnce.Do(func() { close(h.doneAck) }) }
 
 // Run executes this process's share of the run and blocks until the
 // whole multicast completes (root: every destination reported DONE;
@@ -106,6 +131,9 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 30 * time.Second
 	}
+	if cfg.Drain <= 0 {
+		cfg.Drain = defaultDrain
+	}
 	root := cfg.Tree.Root()
 	m := len(cfg.Packets)
 	start := time.Now()
@@ -123,9 +151,10 @@ func Run(cfg Config) (*Result, error) {
 			capacity = cfg.BufferPackets
 		}
 		h := &host{
-			id:    v,
-			inbox: link.NewInbox(v, capacity, cfg.BufferPackets),
-			rep:   &HostReport{Host: v},
+			id:      v,
+			inbox:   link.NewInbox(v, capacity, cfg.BufferPackets),
+			rep:     &HostReport{Host: v},
+			doneAck: make(chan struct{}),
 		}
 		if v != root {
 			h.reasm = message.NewReassembler()
@@ -166,6 +195,7 @@ func Run(cfg Config) (*Result, error) {
 	markStopped := func() { stopOnce.Do(func() { close(stopped) }) }
 	doneCh := make(chan int, len(hosts))
 	failCh := make(chan error, len(hosts)+1)
+	stopAckCh := make(chan int, cfg.Tree.Size()+4)
 	var wg sync.WaitGroup
 
 	// Forwarding loops: each non-root local host is a serial NI server —
@@ -177,7 +207,7 @@ func Run(cfg Config) (*Result, error) {
 		wg.Add(1)
 		go func(h *host) {
 			defer wg.Done()
-			if err := serve(h, cfg, m, start, abort, doneCh); err != nil {
+			if err := serve(h, cfg, m, start, abort, stopped, doneCh); err != nil {
 				select {
 				case failCh <- err:
 				default:
@@ -186,45 +216,70 @@ func Run(cfg Config) (*Result, error) {
 		}(h)
 	}
 
-	// Control listeners: destinations watch for STOP; the root collects
-	// DONE reports.
+	// Control listeners: destinations watch for STOP (acknowledging each
+	// one, including repeats) and their own DONE-ACK; the root collects
+	// DONE reports (acknowledging each) and STOP-ACKs.
 	remoteDone := make(chan int, cfg.Tree.Size())
 	for _, h := range hosts {
 		wg.Add(1)
-		go func(id int) {
+		go func(h *host) {
 			defer wg.Done()
+			id := h.id
 			ctl := cfg.Net.Ctl(id)
 			for {
 				select {
 				case <-abort:
 					return
-				case <-stopped:
-					if id != root {
-						return
-					}
-					// The root keeps draining late DONEs until teardown
-					// so repeated reports never back up the ctl queue.
-					select {
-					case <-abort:
-						return
-					case <-ctl:
-					}
 				case b := <-ctl:
-					if len(b) >= 3 && b[0] == ctlDone && id == root {
-						// Non-blocking: DONE is repeated, so a full queue
+					if len(b) < 1 {
+						continue
+					}
+					switch b[0] {
+					case ctlDone:
+						if id != root {
+							continue
+						}
+						v := ctlField(b, 0)
+						if v < 0 {
+							continue
+						}
+						// Non-blocking: DONE is retried, so a full queue
 						// loses nothing and the listener can never stall.
 						select {
-						case remoteDone <- int(binary.BigEndian.Uint16(b[1:3])):
+						case remoteDone <- v:
 						default:
 						}
-					}
-					if len(b) >= 1 && b[0] == ctlStop && id != root {
+						cfg.Net.SendCtl(root, v, ctlMsg(ctlDoneAck, v))
+					case ctlStopAck:
+						if id != root {
+							continue
+						}
+						if v := ctlField(b, 0); v >= 0 {
+							select {
+							case stopAckCh <- v:
+							default:
+							}
+						}
+					case ctlStop:
+						if id == root {
+							continue
+						}
 						markStopped()
-						return
+						// Acknowledge for every local host, not just the
+						// receiving one: the root tracks STOP-ACKs per host,
+						// so one delivered STOP settles the whole process
+						// even when copies aimed at sibling hosts are lost.
+						for _, v := range cfg.Local {
+							cfg.Net.SendCtl(v, root, ctlMsg(ctlStopAck, v))
+						}
+					case ctlDoneAck:
+						if id != root && ctlField(b, 0) == id {
+							h.markDoneAck()
+						}
 					}
 				}
 			}
-		}(h.id)
+		}(h)
 	}
 
 	// The injector: if the root is local, feed the tree packet-major.
@@ -235,9 +290,11 @@ func Run(cfg Config) (*Result, error) {
 			for _, pkt := range cfg.Packets {
 				for _, l := range h.links {
 					if err := l.Send(pkt, abort); err != nil {
-						select {
-						case failCh <- fmt.Errorf("mcastd: inject %d->%d: %w", root, l.To(), err):
-						default:
+						if !errors.Is(err, link.ErrAborted) {
+							select {
+							case failCh <- fmt.Errorf("mcastd: inject %d->%d: %w", root, l.To(), err):
+							default:
+							}
 						}
 						return
 					}
@@ -248,7 +305,7 @@ func Run(cfg Config) (*Result, error) {
 		}()
 	}
 
-	err := coordinate(cfg, hosts, root, stopped, markStopped, doneCh, remoteDone, failCh)
+	got, err := coordinate(cfg, hosts, root, stopped, markStopped, doneCh, remoteDone, stopAckCh, failCh)
 
 	close(abort)
 	detachAll()
@@ -257,17 +314,28 @@ func Run(cfg Config) (*Result, error) {
 		h.inbox.Close()
 	}
 
-	res := &Result{Hosts: map[int]*HostReport{}, Wall: time.Since(start)}
+	res := &Result{Hosts: map[int]*HostReport{}, Wall: time.Since(start), Status: reliable.Failed}
+	if err == nil {
+		res.Status = reliable.Delivered
+	}
 	for v, h := range hosts {
 		res.Hosts[v] = h.rep
 	}
-	if _, ok := hosts[root]; ok && err == nil {
-		for _, v := range cfg.Tree.Nodes() {
+	if _, ok := hosts[root]; ok {
+		// Actual progress, not the tree's node list: a watchdog or
+		// transport error still reports the destinations that made it.
+		for v := range got {
 			if v != root {
 				res.Completed = append(res.Completed, v)
 			}
 		}
 		sort.Ints(res.Completed)
+		for _, v := range cfg.Tree.Nodes() {
+			if v != root && !got[v] {
+				res.Orphaned = append(res.Orphaned, v)
+			}
+		}
+		sort.Ints(res.Orphaned)
 	}
 	return res, err
 }
@@ -275,8 +343,11 @@ func Run(cfg Config) (*Result, error) {
 // serve is the P³FA loop of one local destination NI: every admitted
 // packet is forwarded to the children before local reassembly, and the
 // buffer slot is held for the packet's full service residency. After
-// the message completes it reports DONE to the root until STOP.
-func serve(h *host, cfg Config, m int, start time.Time, abort <-chan struct{}, doneCh chan<- int) error {
+// the message completes it retries DONE at the root with exponential
+// backoff until acknowledged (or the run stops).
+func serve(h *host, cfg Config, m int, start time.Time,
+	abort, stopped <-chan struct{}, doneCh chan<- int) error {
+
 	root := cfg.Tree.Root()
 	for h.rep.Recvs < m {
 		f, ok := h.inbox.Recv(abort)
@@ -293,7 +364,12 @@ func serve(h *host, cfg Config, m int, start time.Time, abort <-chan struct{}, d
 		h.rep.Recvs++
 		for _, l := range h.links {
 			if err := l.Send(f.Payload, abort); err != nil {
-				return nil // aborted mid-forward
+				if errors.Is(err, link.ErrAborted) {
+					return nil // aborted mid-forward
+				}
+				// A genuine transport failure: name the dead edge instead
+				// of dying silently and letting the watchdog guess.
+				return fmt.Errorf("mcastd: host %d: forward edge %d->%d: %w", h.id, h.id, l.To(), err)
 			}
 			h.rep.Sends++
 		}
@@ -309,20 +385,25 @@ func serve(h *host, cfg Config, m int, start time.Time, abort <-chan struct{}, d
 			doneCh <- h.id
 		}
 	}
-	// Keep reporting DONE until the root's STOP (drained by the ctl
-	// listener) or teardown: the control plane is best-effort.
+	// Acknowledged DONE: retry with capped exponential backoff + jitter
+	// until the root's DONE-ACK (or STOP, which implies it) lands.
 	if h.id != root {
-		tick := time.NewTicker(doneEvery)
-		defer tick.Stop()
-		var buf [3]byte
-		buf[0] = ctlDone
-		binary.BigEndian.PutUint16(buf[1:], uint16(h.id))
+		bo := newBackoff(doneRetryBase, doneRetryMax, 0xd00e^uint64(h.id+1)<<16)
+		msg := ctlMsg(ctlDone, h.id)
 		for {
-			cfg.Net.SendCtl(h.id, root, buf[:])
+			cfg.Net.SendCtl(h.id, root, msg)
+			timer := time.NewTimer(bo.next())
 			select {
 			case <-abort:
+				timer.Stop()
 				return nil
-			case <-tick.C:
+			case <-stopped:
+				timer.Stop()
+				return nil
+			case <-h.doneAck:
+				timer.Stop()
+				return nil
+			case <-timer.C:
 			}
 		}
 	}
@@ -330,10 +411,13 @@ func serve(h *host, cfg Config, m int, start time.Time, abort <-chan struct{}, d
 }
 
 // coordinate blocks until this process's exit condition: the root waits
-// for every destination then floods STOP; a destination-only process
-// waits for its local deliveries plus the root's STOP.
+// for every destination then runs the acknowledged STOP exchange; a
+// destination-only process waits for its local deliveries plus the
+// root's STOP. It returns the set of destinations whose DONE this
+// process heard, even on error.
 func coordinate(cfg Config, hosts map[int]*host, root int,
-	stopped chan struct{}, markStopped func(), doneCh <-chan int, remoteDone <-chan int, failCh <-chan error) error {
+	stopped chan struct{}, markStopped func(), doneCh <-chan int, remoteDone <-chan int,
+	stopAckCh <-chan int, failCh <-chan error) (map[int]bool, error) {
 
 	deadline := time.NewTimer(cfg.Timeout)
 	defer deadline.Stop()
@@ -370,15 +454,15 @@ func coordinate(cfg Config, hosts map[int]*host, root int,
 				cfg.logf("root heard DONE from remote host %d", v)
 			}
 		case err := <-failCh:
-			return err
+			return got, err
 		case <-deadline.C:
-			return fmt.Errorf("mcastd: watchdog after %v: %s", cfg.Timeout, progress())
+			return got, fmt.Errorf("mcastd: watchdog after %v: %s", cfg.Timeout, progress())
 		}
 	}
 	if rootLocal {
-		// Every destination is accounted for: flood STOP so remote
-		// reporters stand down, then finish. All-local runs have no one
-		// to notify and skip the burst gaps entirely.
+		// Every destination is accounted for: run the STOP handshake so
+		// remote reporters stand down, bounded by the drain deadline so a
+		// dead peer cannot stall us. All-local runs have no one to notify.
 		var remote []int
 		for _, v := range cfg.Tree.Nodes() {
 			if v != root && !cfg.Net.Local(v) {
@@ -386,28 +470,58 @@ func coordinate(cfg Config, hosts map[int]*host, root int,
 			}
 		}
 		if len(remote) > 0 {
-			cfg.logf("root heard all %d destinations; flooding STOP to %d remote hosts", len(want), len(remote))
-			for i := 0; i < stopBurst; i++ {
-				for _, v := range remote {
-					cfg.Net.SendCtl(root, v, []byte{ctlStop})
-				}
-				if i < stopBurst-1 {
-					time.Sleep(stopGap)
-				}
-			}
+			cfg.logf("root heard all %d destinations; stopping %d remote hosts (drain %v)", len(want), len(remote), cfg.Drain)
+			stopRemotes(cfg, root, remote, stopAckCh, reliable.Delivered, 0)
 		}
 		markStopped()
-		return nil
+		return got, nil
 	}
 	// Destination-only process: all local hosts delivered; hold on for
 	// the root's STOP so our DONE reports are known to have landed.
 	cfg.logf("all local hosts delivered; awaiting STOP")
 	select {
 	case <-stopped:
-		return nil
+		return got, nil
 	case err := <-failCh:
-		return err
+		return got, err
 	case <-deadline.C:
-		return fmt.Errorf("mcastd: delivered everywhere locally but no STOP after %v: %s", cfg.Timeout, progress())
+		return got, fmt.Errorf("mcastd: delivered everywhere locally but no STOP after %v: %s", cfg.Timeout, progress())
+	}
+}
+
+// stopRemotes runs the acknowledged STOP exchange: retry STOP at every
+// unacknowledged remote host with capped backoff until each STOP-ACK
+// lands or the drain deadline passes. The STOP payload carries the
+// final epoch and status byte so remote processes report the root's
+// verdict.
+func stopRemotes(cfg Config, root int, remote []int, stopAckCh <-chan int, status reliable.Status, epoch int) {
+	pending := map[int]bool{}
+	for _, v := range remote {
+		pending[v] = true
+	}
+	msg := append(ctlMsg(ctlStop, epoch), byte(status))
+	drain := time.NewTimer(cfg.Drain)
+	defer drain.Stop()
+	bo := newBackoff(stopRetryBase, stopRetryMax, 0x57a9^uint64(root+1)<<16)
+	resend := time.NewTimer(0)
+	defer resend.Stop()
+	for len(pending) > 0 {
+		select {
+		case <-resend.C:
+			for v := range pending {
+				cfg.Net.SendCtl(root, v, msg)
+			}
+			resend.Reset(bo.next())
+		case v := <-stopAckCh:
+			delete(pending, v)
+		case <-drain.C:
+			left := make([]int, 0, len(pending))
+			for v := range pending {
+				left = append(left, v)
+			}
+			sort.Ints(left)
+			cfg.logf("drain deadline: %d STOP-ACKs outstanding from %v", len(left), left)
+			return
+		}
 	}
 }

@@ -1,0 +1,237 @@
+package mcastd
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/live/link"
+	"repro/internal/message"
+	"repro/internal/reliable"
+	"repro/internal/tree"
+)
+
+// TestReliableAllLocal runs the reliable engine with every host in one
+// process over a lossy loopback fabric: retransmission alone must make
+// delivery byte-exact.
+func TestReliableAllLocal(t *testing.T) {
+	skipWithoutLoopback(t)
+	chain := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	tr := tree.Binomial(chain)
+	data := testPayload(1500)
+	pkts, err := message.Packetize(3, 0, data, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := link.NewLoopbackUDP(tr.Nodes(), link.UDPConfig{Session: 0x3E1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	rcfg := DefaultReliableConfig()
+	rcfg.Faults = link.Faults{Seed: 41, DropRate: 0.05}
+	res, err := RunReliable(Config{
+		Tree: tr, Packets: pkts, MsgID: 3, Local: tr.Nodes(), Net: nw,
+		Timeout: 15 * time.Second,
+	}, rcfg)
+	if err != nil {
+		t.Fatalf("RunReliable: %v", err)
+	}
+	if res.Status != reliable.Delivered || len(res.Orphaned) != 0 {
+		t.Fatalf("status %v orphaned %v, want clean delivery", res.Status, res.Orphaned)
+	}
+	for _, v := range chain[1:] {
+		rep := res.Hosts[v]
+		if rep == nil || !bytes.Equal(rep.Data, data) {
+			t.Fatalf("host %d not byte-exact", v)
+		}
+	}
+	if res.Retransmits == 0 {
+		t.Fatalf("5%% drop over %d packets produced no retransmits (chaos %+v)", len(pkts), nw.Stats())
+	}
+}
+
+// TestReliableMatchesPlain pins the zero-fault guarantee: with no chaos
+// armed, the reliable daemon is structurally the plain daemon — same
+// per-host receive counts, same per-host send counts, no recovery
+// machinery engaged.
+func TestReliableMatchesPlain(t *testing.T) {
+	skipWithoutLoopback(t)
+	chain := []int{0, 1, 2, 3, 4, 5, 6}
+	tr := tree.KBinomial(chain, 2)
+	data := testPayload(900)
+	pkts, err := message.Packetize(9, 0, data, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(rel bool) *Result {
+		nw, err := link.NewLoopbackUDP(tr.Nodes(), link.UDPConfig{Session: 0x9A7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer nw.Close()
+		cfg := Config{Tree: tr, Packets: pkts, MsgID: 9, Local: tr.Nodes(), Net: nw, Timeout: 10 * time.Second}
+		var res *Result
+		if rel {
+			rcfg := DefaultReliableConfig()
+			// A generous RTO keeps scheduler noise from triggering
+			// spurious retransmits that would skew the send counts.
+			rcfg.RTO, rcfg.RTOMax = 500*time.Millisecond, time.Second
+			res, err = RunReliable(cfg, rcfg)
+		} else {
+			res, err = Run(cfg)
+		}
+		if err != nil {
+			t.Fatalf("run (reliable=%v): %v", rel, err)
+		}
+		return res
+	}
+	plain, rel := run(false), run(true)
+	if rel.Retransmits != 0 || rel.Duplicates != 0 || rel.Fenced != 0 || rel.Adoptions != 0 {
+		t.Fatalf("zero-fault reliable run engaged recovery: %+v", rel)
+	}
+	if rel.Status != reliable.Delivered || rel.Epoch != 1 {
+		t.Fatalf("zero-fault reliable run: status %v epoch %d", rel.Status, rel.Epoch)
+	}
+	for _, v := range chain {
+		p, r := plain.Hosts[v], rel.Hosts[v]
+		if p == nil || r == nil {
+			t.Fatalf("host %d missing from a result", v)
+		}
+		if p.Recvs != r.Recvs || p.Sends != r.Sends || !bytes.Equal(p.Data, r.Data) {
+			t.Fatalf("host %d diverges: plain recv=%d send=%d, reliable recv=%d send=%d",
+				v, p.Recvs, p.Sends, r.Recvs, r.Sends)
+		}
+	}
+}
+
+// lossyPairCase runs one two-process reliable run with the given drop
+// rate on both processes' data planes and checks byte-exact delivery.
+func lossyPairCase(t *testing.T, seed uint64, drop float64, session uint64) {
+	t.Helper()
+	chain := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	tr := tree.KBinomial(chain, 2)
+	data := testPayload(1200)
+	pkts, err := message.Packetize(5, 0, data, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localA, localB := []int{0, 1, 2, 3}, []int{4, 5, 6, 7}
+	ucfg := link.UDPConfig{Session: session}
+	nwA, err := link.NewUDPNetwork(ucfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nwA.Close()
+	nwB, err := link.NewUDPNetwork(ucfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nwB.Close()
+	for _, v := range localA {
+		if _, err := nwA.Listen(v, "127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, v := range localB {
+		if _, err := nwB.Listen(v, "127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, v := range localA {
+		if err := nwB.AddPeer(v, nwA.Addr(v).String()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, v := range localB {
+		if err := nwA.AddPeer(v, nwB.Addr(v).String()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rcfg := DefaultReliableConfig()
+	rcfg.Faults = link.Faults{Seed: seed, DropRate: drop}
+	mk := func(local []int, nw *link.UDPNetwork) Config {
+		return Config{Tree: tr, Packets: pkts, MsgID: 5, Local: local, Net: nw, Timeout: 20 * time.Second}
+	}
+	var wg sync.WaitGroup
+	var resA, resB *Result
+	var errA, errB error
+	wg.Add(2)
+	go func() { defer wg.Done(); resA, errA = RunReliable(mk(localA, nwA), rcfg) }()
+	go func() { defer wg.Done(); resB, errB = RunReliable(mk(localB, nwB), rcfg) }()
+	wg.Wait()
+	if errA != nil || errB != nil {
+		t.Fatalf("root process: %v, peer process: %v", errA, errB)
+	}
+	if resA.Status != reliable.Delivered || len(resA.Orphaned) != 0 {
+		t.Fatalf("root verdict %v orphaned %v, want full delivery", resA.Status, resA.Orphaned)
+	}
+	if resB.Status != reliable.Delivered {
+		t.Fatalf("peer process learned status %v from STOP, want Delivered", resB.Status)
+	}
+	if len(resA.Completed) != len(chain)-1 {
+		t.Fatalf("root Completed = %v, want all %d destinations", resA.Completed, len(chain)-1)
+	}
+	for _, v := range localA[1:] {
+		if rep := resA.Hosts[v]; rep == nil || !bytes.Equal(rep.Data, data) {
+			t.Fatalf("seed %d drop %.2f: root-process host %d not byte-exact", seed, drop, v)
+		}
+	}
+	for _, v := range localB {
+		if rep := resB.Hosts[v]; rep == nil || !bytes.Equal(rep.Data, data) {
+			t.Fatalf("seed %d drop %.2f: peer-process host %d not byte-exact", seed, drop, v)
+		}
+	}
+}
+
+// TestTwoDaemonsLossy is the soak sweep: the multi-process deployment
+// over genuinely lossy data planes across a grid of seeds and drop
+// rates, every case byte-exact. Packet loss here hits real UDP sockets
+// between two fabric instances, with ACKs riding the ctl plane back.
+func TestTwoDaemonsLossy(t *testing.T) {
+	skipWithoutLoopback(t)
+	drops := []float64{0.01, 0.03, 0.05}
+	seeds := []uint64{7, 19}
+	if testing.Short() {
+		drops, seeds = drops[:1], seeds[:1]
+	}
+	n := 0
+	for _, drop := range drops {
+		for _, seed := range seeds {
+			drop, seed := drop, seed
+			sess := uint64(0x10551 + n)
+			n++
+			t.Run(fmt.Sprintf("drop%.0f%%/seed%d", drop*100, seed), func(t *testing.T) {
+				lossyPairCase(t, seed, drop, sess)
+			})
+		}
+	}
+}
+
+// TestReliableRejects pins the reliable-specific construction errors.
+func TestReliableRejects(t *testing.T) {
+	skipWithoutLoopback(t)
+	tr := tree.Binomial([]int{0, 1})
+	pkts, _ := message.Packetize(1, 0, []byte("x"), 64)
+	nw, err := link.NewLoopbackUDP(tr.Nodes(), link.UDPConfig{Session: 0xBAD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	cfg := Config{Tree: tr, Packets: pkts, MsgID: 1, Local: []int{0}, Net: nw}
+	for _, tc := range []struct {
+		name string
+		rcfg ReliableConfig
+	}{
+		{"rto-cap-below-base", ReliableConfig{RTO: 50 * time.Millisecond, RTOMax: 10 * time.Millisecond}},
+		{"bad-droprate", ReliableConfig{Faults: link.Faults{DropRate: 1.5}}},
+		{"scheduled-kills", ReliableConfig{Faults: link.Faults{Kills: []link.LinkKill{{From: 0, To: 1, At: time.Millisecond}}}}},
+		{"scheduled-stalls", ReliableConfig{Faults: link.Faults{Stalls: []link.StallWindow{{Host: 0, Until: time.Millisecond}}}}},
+	} {
+		if _, err := RunReliable(cfg, tc.rcfg); err == nil {
+			t.Errorf("%s: RunReliable accepted a bad config", tc.name)
+		}
+	}
+}
