@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check staticcheck mcastcheck soak chaos-soak net-soak daemon-soak bench ci figures clean live-race
+.PHONY: all build test race vet fmt check staticcheck mcastcheck soak chaos-soak net-soak daemon-soak sched-soak bench ci figures clean live-race
 
 all: check
 
@@ -21,7 +21,7 @@ race:
 # -race coverage of internal/live cannot be silently skipped by package
 # caching or a filtered test run.
 live-race:
-	$(GO) test -race -count=1 ./internal/live/... ./internal/check
+	$(GO) test -race -count=1 ./internal/live/... ./internal/sched ./internal/check
 
 vet:
 	$(GO) vet ./...
@@ -96,6 +96,17 @@ daemon-soak:
 	$(GO) test -race -run TestDaemonFaultySweep -count=1 ./internal/check
 	$(GO) run -race ./cmd/mcastcheck -n 120 -seed 9 -workers 4 -only net-faulty-delivery
 
+# Scheduler soak: the massive-session plane under the race detector.
+# Runs every internal/sched unit test (admission, typed rejections,
+# deadline expiry with buffer-credit reclamation, teardown draining), the
+# 256-session fixed-seed fairness soak (no session may exceed a generous
+# multiple of its fair in-flight share), and a 120-case sched-matches-
+# serial differential sweep: three sessions concurrently through one
+# scheduler must be per-host identical to serial live.Run baselines.
+sched-soak:
+	$(GO) test -race -count=1 ./internal/sched
+	$(GO) run -race ./cmd/mcastcheck -n 120 -seed 11 -workers 4 -only sched-matches-serial
+
 # Bench: the tracked performance baseline. Runs the engine event-loop,
 # harness-throughput and reliable-delivery suites with -benchmem and
 # records the parsed results as BENCH_sim.json (see DESIGN.md §10 for how
@@ -115,11 +126,13 @@ bench:
 		-benchmem -benchtime 25x -timeout 20m ./internal/check >> bench-raw.out
 	$(GO) test -run '^$$' -bench 'BenchmarkDaemonReliable' \
 		-benchmem -benchtime 100x ./internal/mcastd >> bench-raw.out
+	$(GO) test -run '^$$' -bench 'BenchmarkSched' \
+		-benchmem -benchtime 3x -timeout 20m ./internal/sched >> bench-raw.out
 	$(GO) run ./cmd/benchjson -echo < bench-raw.out > BENCH_sim.json
 	@rm -f bench-raw.out
 	@echo "wrote BENCH_sim.json"
 
-ci: check staticcheck live-race mcastcheck chaos-soak net-soak daemon-soak
+ci: check staticcheck live-race mcastcheck chaos-soak net-soak daemon-soak sched-soak
 
 figures:
 	$(GO) run ./cmd/figures -out figures

@@ -7,6 +7,7 @@
 //	         [-k 3] [-ni fpfs|fcfs|conventional] [-model packet|flit]
 //	         [-wseed 7] [-verbose] [-timeline] [-trace-json FILE]
 //	         [-live]
+//	         [-sessions N] [-window W]
 //	         [-reliable] [-droprate 0.01] [-faults "kill:74@40,corrupt:0.01"] [-retries 8]
 //	         [-crash HOST@T] [-crash HOST@T@RT] [-quorum Q]
 //
@@ -36,6 +37,16 @@
 // verified at every destination, and the report puts the measured
 // wall-clock latency next to the simulator's prediction for the same
 // plan. Live runs support -ni fpfs -model packet.
+//
+// -sessions N is the sustained-load mode: N concurrent sessions with
+// rotating seeded destination sets run through the session scheduler
+// (internal/sched) on one shared live fabric — bounded admission window
+// (-window), sharded injection, deficit-round-robin fair queueing at
+// every NI, and congestion-aware tree planning against the in-flight
+// edge census. The report gives sustained sessions/sec and p50/p99
+// end-to-end completion latency:
+//
+//	mcastsim -sessions 10000 -dests 12 -packets 4 -window 256
 //
 // -net (with -live) swaps the channel links for real loopback UDP
 // sockets: every tree edge is dialed over internal/live/link's datagram
@@ -67,6 +78,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -77,6 +89,7 @@ import (
 	"repro/internal/live/link"
 	"repro/internal/membership"
 	"repro/internal/message"
+	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -94,6 +107,8 @@ func main() {
 	timeline := flag.Bool("timeline", false, "print an ASCII per-host activity timeline")
 	traceJSON := flag.String("trace-json", "", "write the event trace to FILE in Chrome trace-event format")
 	liveRun := flag.Bool("live", false, "execute the multicast on the live goroutine runtime instead of simulating")
+	sessions := flag.Int("sessions", 0, "sustained-load mode: run N concurrent sessions through the session scheduler on one shared live fabric")
+	window := flag.Int("window", 64, "with -sessions: admission window (max sessions in flight)")
 	netRun := flag.Bool("net", false, "with -live: dial every tree edge over a loopback UDP socket instead of channel links")
 	liveTimeout := flag.Duration("live-timeout", 0, "watchdog timeout for -live runs (0 = the 30s default)")
 	model := flag.String("model", "packet", "network model: packet (fast reservation) or flit (cycle-accurate wormhole)")
@@ -139,6 +154,12 @@ func main() {
 	if *dests < 1 || *dests >= sys.Net.NumHosts() {
 		fmt.Fprintf(os.Stderr, "mcastsim: dests must be in 1..%d\n", sys.Net.NumHosts()-1)
 		os.Exit(1)
+	}
+
+	if *sessions > 0 {
+		fmt.Printf("system: %s (seed %d)\n", sys.Net.Summary(), *seed)
+		runSched(sys, *sessions, *dests, *packets, *window, *wseed, *verbose)
+		return
 	}
 
 	set := workload.DestSet(workload.NewRNG(*wseed), sys.Net.NumHosts(), *dests)
@@ -222,6 +243,110 @@ func main() {
 		}
 		if *traceJSON != "" {
 			writeChromeTrace(*traceJSON, events)
+		}
+	}
+}
+
+// runSched is the sustained-load mode: n sessions with rotating seeded
+// destination sets are pushed through one sched.Scheduler over a shared
+// live fabric spanning every host. Each session's tree is planned
+// against the scheduler's in-flight edge census (the simultaneous-
+// multicast objective), admission is bounded by the window, and the
+// report gives sustained throughput plus the p50/p99 end-to-end
+// completion latency.
+func runSched(sys *repro.System, n, dests, packets, window int, wseed uint64, verbose bool) {
+	if dests < 1 || dests >= sys.Net.NumHosts() {
+		fmt.Fprintf(os.Stderr, "mcastsim: dests must be in 1..%d\n", sys.Net.NumHosts()-1)
+		os.Exit(1)
+	}
+	p := repro.DefaultParams()
+	hosts := make([]int, sys.Net.NumHosts())
+	for i := range hosts {
+		hosts[i] = i
+	}
+	s, err := sched.New(hosts, sched.Config{Window: window, QueueDepth: n})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcastsim: scheduler: %v\n", err)
+		os.Exit(1)
+	}
+	defer s.Close()
+
+	rng := workload.NewRNG(wseed ^ 0x9e3779b97f4a7c15)
+	type submitted struct {
+		h       *sched.Handle
+		payload []byte
+		dests   []int
+	}
+	subs := make([]submitted, 0, n)
+	begin := time.Now()
+	for i := 0; i < n; i++ {
+		set := workload.DestSet(rng, sys.Net.NumHosts(), dests)
+		payload := make([]byte, packets*(p.PacketBytes-message.HeaderSize))
+		for j := range payload {
+			payload[j] = byte(rng.Uint64())
+		}
+		msgID := uint32(i + 1)
+		tr, _, err := s.PlanBcast(sys, set[0], set[1:], packets)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcastsim: session %d plan: %v\n", i, err)
+			os.Exit(1)
+		}
+		pkts, err := message.Packetize(msgID, set[0], payload, p.PacketBytes)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcastsim: session %d: %v\n", i, err)
+			os.Exit(1)
+		}
+		h, err := s.Submit(live.Session{Tree: tr, Packets: pkts, MsgID: msgID})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcastsim: session %d submit: %v\n", i, err)
+			os.Exit(1)
+		}
+		subs = append(subs, submitted{h: h, payload: payload, dests: set[1:]})
+	}
+
+	e2e := make([]time.Duration, 0, n)
+	exact := 0
+	for i, su := range subs {
+		res, err := su.h.Wait()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcastsim: session %d failed: %v\n", i, err)
+			os.Exit(1)
+		}
+		ok := true
+		for _, d := range su.dests {
+			rec := res.Hosts[d]
+			if rec == nil || string(rec.Data) != string(su.payload) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			exact++
+		}
+		e2e = append(e2e, res.FinishAt-res.SubmitAt)
+	}
+	wall := time.Since(begin)
+	sort.Slice(e2e, func(a, b int) bool { return e2e[a] < e2e[b] })
+	st := s.Stats()
+
+	fmt.Printf("sched:  %d sessions (%d dests, %d packets each), window %d, %d-host shared fabric\n",
+		n, dests, packets, window, len(hosts))
+	fmt.Printf("result: wall %v, %.0f sessions/sec, completion p50 %v p99 %v\n",
+		wall.Round(time.Millisecond), float64(n)/wall.Seconds(),
+		e2e[len(e2e)/2].Round(time.Microsecond), e2e[len(e2e)*99/100].Round(time.Microsecond))
+	fmt.Printf("        %d of %d sessions delivered byte-exactly at every destination; max in flight %d, %d frames dropped\n",
+		exact, n, st.MaxInflight, st.DroppedFrames)
+	if exact != n {
+		fmt.Fprintln(os.Stderr, "mcastsim: scheduled delivery fell short")
+		os.Exit(1)
+	}
+	if verbose {
+		fmt.Println("\ncompletion latency distribution:")
+		for _, q := range []struct {
+			name string
+			idx  int
+		}{{"min", 0}, {"p10", len(e2e) / 10}, {"p50", len(e2e) / 2}, {"p90", len(e2e) * 9 / 10}, {"p99", len(e2e) * 99 / 100}, {"max", len(e2e) - 1}} {
+			fmt.Printf("  %-4s %10v\n", q.name, e2e[q.idx].Round(time.Microsecond))
 		}
 	}
 }

@@ -59,6 +59,7 @@ var Invariants = []Invariant{
 	{"live-faulty-lossless-identity", "with the fault plane at p=0 the chaos-wrapped reliable live engine is byte- and order-identical to the plain live engine", checkLiveFaultyLosslessIdentity},
 	{"net-matches-live", "the same instance executed over loopback UDP sockets is structurally identical to the in-process live run: delivery order, parent edges, send/receive counts, byte-exact payloads", checkNetMatchesLive},
 	{"net-faulty-delivery", "the instance split across two cooperating daemon processes over a lossy UDP fabric still delivers byte-exactly with a clean Delivered verdict — retransmission, ACKs and DONE/STOP handshakes all crossing real sockets", checkNetFaultyDelivery},
+	{"sched-matches-serial", "three sessions run concurrently through the session scheduler — shared NIs, a window smaller than the load, DRR fair queueing — deliver byte-exactly with per-host send/receive counts and arrival order identical to each session run alone through the live runtime", checkSchedMatchesSerial},
 }
 
 // InvariantByID returns the catalogue entry with the given ID.

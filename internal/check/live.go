@@ -128,8 +128,15 @@ func checkLiveMatchesSim(w *world) error {
 			return fmt.Errorf("host %d has no completion ACK timestamp", v)
 		}
 	}
-	if lr.Latency <= 0 || res.Wall < lr.Latency {
-		return fmt.Errorf("live wall clock inconsistent: session latency %v, wall %v", lr.Latency, res.Wall)
+	// Per-session clock sanity: Latency is the session's own span
+	// (FinishAt - StartAt), which the run-wide wall must contain. Wall
+	// itself is a cross-session measure and is deliberately not used as
+	// the session latency (it conflates the two under concurrency).
+	if lr.Latency <= 0 || lr.Latency != lr.FinishAt-lr.StartAt {
+		return fmt.Errorf("live session latency %v inconsistent with span %v..%v", lr.Latency, lr.StartAt, lr.FinishAt)
+	}
+	if res.Wall < lr.FinishAt {
+		return fmt.Errorf("live wall clock inconsistent: session finish %v, wall %v", lr.FinishAt, res.Wall)
 	}
 	return nil
 }

@@ -1,0 +1,34 @@
+package check
+
+import (
+	"testing"
+)
+
+// TestSchedSweep is the differential acceptance gate for the session
+// scheduler: 120 seeded harness instances, each executed three-wide
+// through one sched.Scheduler and compared per-host against serial
+// live.Run baselines (bytes, send/receive counts, arrival order). CI
+// runs the check package under -race, so the sweep doubles as a
+// concurrency validator for the shared-fabric path.
+func TestSchedSweep(t *testing.T) {
+	inv, ok := InvariantByID("sched-matches-serial")
+	if !ok {
+		t.Fatal("sched-matches-serial invariant not registered")
+	}
+	const cases = 120
+	failed := 0
+	for c := 0; c < cases; c++ {
+		inst := Generate(11, c)
+		w, err := safeBuild(inst)
+		if err != nil {
+			t.Fatalf("case %d: build: %v", c, err)
+		}
+		if err := safeCheck(inv, w); err != nil {
+			failed++
+			t.Errorf("case %d (replay: mcastcheck -seed 11 -case %d): %v", c, c, err)
+			if failed >= 5 {
+				t.Fatal("stopping after 5 differential failures")
+			}
+		}
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"repro/internal/membership"
 	"repro/internal/message"
 	"repro/internal/reliable"
+	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/stepsim"
 	"repro/internal/workload"
@@ -537,4 +538,85 @@ func RandomGroup(sys *core.System, n int, rng *workload.RNG) (*Group, error) {
 	}
 	perm := rng.Perm(sys.Net.NumHosts())
 	return New(sys, perm[:n])
+}
+
+// BcastScheduledResult is the outcome of one scheduler-backed broadcast.
+type BcastScheduledResult struct {
+	// Data holds, per rank, the delivered message, reassembled and
+	// checksum-verified on real shared-fabric NIs (root keeps its own).
+	Data [][]byte
+	// QueueWait is the time the session spent in the scheduler's
+	// admission queue; WallLatency the in-flight span (first injection to
+	// last destination done).
+	QueueWait, WallLatency time.Duration
+	// Packets is the wire packet count, K the planned fanout bound —
+	// possibly different from the idle optimum when the congestion-aware
+	// planner steered around in-flight trees.
+	Packets, K int
+	// Sched is the scheduler's full per-session record.
+	Sched *sched.Result
+}
+
+// BcastScheduled broadcasts through a session scheduler instead of a
+// private one-shot fabric: the tree is planned against the scheduler's
+// live edge census (sched.Scheduler.PlanBcast), the session is submitted
+// for admission-controlled execution on the shared NIs, and the call
+// blocks until the scheduler settles it. Safe to call from many
+// goroutines against one scheduler — that is the point: concurrent
+// broadcasts share the fabric, bounded by the scheduler's window, instead
+// of multiplying goroutine fabrics. The scheduler must span every host in
+// the group.
+func (g *Group) BcastScheduled(s *sched.Scheduler, root int, data []byte, p sim.Params) (*BcastScheduledResult, error) {
+	if root < 0 || root >= len(g.hosts) {
+		return nil, fmt.Errorf("comm: root rank %d out of range", root)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("comm: params: %w", err)
+	}
+	id := g.nextMsgID()
+	pkts, err := message.Packetize(id, g.hosts[root], data, p.PacketBytes)
+	if err != nil {
+		return nil, err
+	}
+	dests := make([]int, 0, len(g.hosts)-1)
+	for i, h := range g.hosts {
+		if i != root {
+			dests = append(dests, h)
+		}
+	}
+	tr, k, err := s.PlanBcast(g.sys, g.hosts[root], dests, len(pkts))
+	if err != nil {
+		return nil, fmt.Errorf("comm: scheduled plan: %w", err)
+	}
+	h, err := s.Submit(live.Session{Tree: tr, Packets: pkts, MsgID: id})
+	if err != nil {
+		return nil, fmt.Errorf("comm: scheduled broadcast: %w", err)
+	}
+	res, err := h.Wait()
+	if err != nil {
+		return nil, fmt.Errorf("comm: scheduled broadcast: %w", err)
+	}
+	out := &BcastScheduledResult{
+		Data:        make([][]byte, len(g.hosts)),
+		QueueWait:   res.QueueWait,
+		WallLatency: res.Latency,
+		Packets:     len(pkts),
+		K:           k,
+		Sched:       res,
+	}
+	out.Data[root] = data
+	for i, hv := range g.hosts {
+		if i == root {
+			continue
+		}
+		rec := res.Hosts[hv]
+		if rec == nil || rec.Data == nil {
+			return nil, fmt.Errorf("comm: rank %d delivered nothing", i)
+		}
+		if !bytes.Equal(rec.Data, data) {
+			return nil, fmt.Errorf("comm: rank %d payload corrupted", i)
+		}
+		out.Data[i] = rec.Data
+	}
+	return out, nil
 }

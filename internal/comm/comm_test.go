@@ -12,6 +12,7 @@ import (
 	"repro/internal/live"
 	"repro/internal/live/link"
 	"repro/internal/reliable"
+	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/workload"
@@ -444,5 +445,50 @@ func TestBcastLiveReliableCrash(t *testing.T) {
 		if !bytes.Equal(res.Data[r], data) {
 			t.Errorf("rank %d payload differs", r)
 		}
+	}
+}
+
+func TestConcurrentBcastScheduled(t *testing.T) {
+	sys := testSys()
+	g, err := New(sys, []int{0, 2, 5, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := make([]int, sys.Net.NumHosts())
+	for i := range hosts {
+		hosts[i] = i
+	}
+	s, err := sched.New(hosts, sched.Config{Window: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	const workers = 8
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			payload := bytes.Repeat([]byte{byte(w + 1)}, 200+w)
+			res, err := g.BcastScheduled(s, w%g.Size(), payload, sim.DefaultParams())
+			if err == nil {
+				for _, d := range res.Data {
+					if !bytes.Equal(d, payload) {
+						err = fmt.Errorf("worker %d: payload mismatch", w)
+						break
+					}
+				}
+				if err == nil && (res.WallLatency <= 0 || res.QueueWait < 0) {
+					err = fmt.Errorf("worker %d: inconsistent timing %v/%v", w, res.QueueWait, res.WallLatency)
+				}
+			}
+			errs <- err
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.Stats(); st.Completed != workers || st.Inflight != 0 || st.DroppedFrames != 0 {
+		t.Errorf("scheduler stats after %d broadcasts: %+v", workers, st)
 	}
 }

@@ -161,6 +161,38 @@ func OptimalK(n, m int) (k, steps int) {
 	return bestK, bestSteps
 }
 
+// OptimalKPenalized generalizes OptimalK to the simultaneous-multicast
+// objective (Haeupler/Hershkowitz/Wajc): it selects the fanout bound k
+// minimizing Steps(n, m, k) + penalty(k), where penalty charges a
+// candidate plan for the congestion it would add to traffic already in
+// flight (typically: steps-per-overlapped-edge against the trees of the
+// sessions a scheduler currently runs). penalty must be non-negative;
+// a zero penalty function reduces exactly to OptimalK, including its
+// larger-k tie-break.
+func OptimalKPenalized(n, m int, penalty func(k int) int) (k, cost int) {
+	if n < 2 {
+		panic(fmt.Sprintf("ktree: OptimalKPenalized needs n >= 2, got %d", n))
+	}
+	if m < 1 {
+		panic(fmt.Sprintf("ktree: OptimalKPenalized needs m >= 1, got %d", m))
+	}
+	charge := func(k int) int {
+		p := penalty(k)
+		if p < 0 {
+			panic(fmt.Sprintf("ktree: negative congestion penalty %d at k=%d", p, k))
+		}
+		return Steps(n, m, k) + p
+	}
+	kMax := CeilLog2(n)
+	bestK, bestCost := kMax, charge(kMax)
+	for k := kMax - 1; k >= 1; k-- {
+		if c := charge(k); c < bestCost {
+			bestK, bestCost = k, c
+		}
+	}
+	return bestK, bestCost
+}
+
 // Table holds precomputed optimal k values for all multicast set sizes up to
 // NMax and packet counts up to MMax, mirroring the paper's Section 4.3.1
 // observation that the table is cheap (< O(n*m) small integers) and can be

@@ -292,3 +292,58 @@ func max(a, b int) int {
 	}
 	return b
 }
+
+func TestOptimalKPenalizedZeroReducesToOptimalK(t *testing.T) {
+	zero := func(int) int { return 0 }
+	for n := 2; n <= 64; n++ {
+		for m := 1; m <= 8; m++ {
+			k0, s0 := OptimalK(n, m)
+			k1, c1 := OptimalKPenalized(n, m, zero)
+			if k1 != k0 || c1 != s0 {
+				t.Fatalf("n=%d m=%d: penalized(0) = (k=%d, cost=%d), OptimalK = (k=%d, steps=%d)",
+					n, m, k1, c1, k0, s0)
+			}
+		}
+	}
+}
+
+func TestOptimalKPenalizedMinimizesObjective(t *testing.T) {
+	// A penalty that punishes the unpenalized winner must move the
+	// selection, and whatever is selected must minimize Steps + penalty
+	// over the whole candidate range with OptimalK's larger-k tie-break.
+	for n := 2; n <= 64; n += 7 {
+		for m := 1; m <= 9; m += 2 {
+			k0, _ := OptimalK(n, m)
+			penalty := func(k int) int {
+				if k == k0 {
+					return 1000
+				}
+				return k // mild slope so ties are rare but possible
+			}
+			k1, c1 := OptimalKPenalized(n, m, penalty)
+			kMax := CeilLog2(n)
+			bestK, best := kMax, Steps(n, m, kMax)+penalty(kMax)
+			for k := kMax - 1; k >= 1; k-- {
+				if c := Steps(n, m, k) + penalty(k); c < best {
+					bestK, best = k, c
+				}
+			}
+			if k1 != bestK || c1 != best {
+				t.Fatalf("n=%d m=%d: penalized = (k=%d, cost=%d), exhaustive argmin = (k=%d, cost=%d)",
+					n, m, k1, c1, bestK, best)
+			}
+			if kMax > 1 && k1 == k0 {
+				t.Fatalf("n=%d m=%d: 1000-step penalty on k=%d did not move the selection", n, m, k0)
+			}
+		}
+	}
+}
+
+func TestOptimalKPenalizedRejectsNegativePenalty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative penalty did not panic")
+		}
+	}()
+	OptimalKPenalized(8, 2, func(int) int { return -1 })
+}

@@ -1,0 +1,54 @@
+package live
+
+import (
+	"errors"
+	goruntime "runtime"
+	"testing"
+	"time"
+)
+
+// TestAbortedRunLeaksNoGoroutines pins the watchdog-abort teardown at a
+// session count with real goroutine fan-out: 6 sessions over a shared
+// 8-host chain spawn 8 NI loops plus 6 injectors, all stalled mid-wire
+// by latency-shaped links when an impossibly tight watchdog fires. The
+// abort must retire every one of them — no NI parked forever on a full
+// gate, no injector stuck in Send, no double-close panic on a shared
+// inbox — so the goroutine count has to settle back to its baseline.
+// Run under -race (the live-race target), where a leaked goroutine that
+// still touches NI state would also surface as a report.
+func TestAbortedRunLeaksNoGoroutines(t *testing.T) {
+	before := goruntime.NumGoroutine()
+
+	var sessions []Session
+	for i := 0; i < 6; i++ {
+		pkts := mustPacketize(t, uint32(i+1), 0, payloadBytes(600))
+		sessions = append(sessions, Session{Tree: chainTree(8), Packets: pkts, MsgID: uint32(i + 1)})
+	}
+	_, err := Run(sessions, Config{
+		BufferPackets: 1,
+		LinkLatency:   50 * time.Millisecond,
+		Timeout:       time.Millisecond,
+	})
+	var we *WatchdogError
+	if !errors.As(err, &we) {
+		t.Fatalf("Run returned %v, want *WatchdogError", err)
+	}
+
+	// Frames still sleeping out their latency stamps retire within about
+	// one LinkLatency of the abort; poll until the count settles. The +2
+	// slack absorbs unrelated test-framework goroutines coming and going.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		goruntime.GC()
+		now := goruntime.NumGoroutine()
+		if now <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("aborted run leaked goroutines: %d before, %d after\n%s",
+				before, now, buf[:goruntime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -77,30 +77,41 @@ type Session struct {
 	MsgID uint32
 }
 
-// validate rejects malformed sessions before any goroutine starts.
-func (s Session) validate(i int) error {
+// Validate rejects a malformed session: a tree too small to multicast
+// over, no packets, or packets whose headers disagree with the session.
+// Run applies it to every session before any goroutine starts; the
+// session scheduler (internal/sched) applies it at submission.
+func (s Session) Validate() error {
 	if s.Tree == nil || s.Tree.Size() < 2 {
-		return fmt.Errorf("live: session %d: tree needs >= 2 nodes", i)
+		return fmt.Errorf("tree needs >= 2 nodes")
 	}
 	if len(s.Packets) == 0 {
-		return fmt.Errorf("live: session %d: no packets", i)
+		return fmt.Errorf("no packets")
 	}
 	if len(s.Packets) > 0xFFFF {
-		return fmt.Errorf("live: session %d: %d packets exceed sequence space", i, len(s.Packets))
+		return fmt.Errorf("%d packets exceed sequence space", len(s.Packets))
 	}
 	for j, pkt := range s.Packets {
 		h, err := message.DecodeHeader(pkt)
 		if err != nil {
-			return fmt.Errorf("live: session %d packet %d: %v", i, j, err)
+			return fmt.Errorf("packet %d: %v", j, err)
 		}
 		if h.MsgID != s.MsgID {
-			return fmt.Errorf("live: session %d packet %d: header msgID %d != session msgID %d",
-				i, j, h.MsgID, s.MsgID)
+			return fmt.Errorf("packet %d: header msgID %d != session msgID %d",
+				j, h.MsgID, s.MsgID)
 		}
 		if int(h.Seq) != j || int(h.Total) != len(s.Packets) {
-			return fmt.Errorf("live: session %d packet %d: header seq %d/%d out of order",
-				i, j, h.Seq, h.Total)
+			return fmt.Errorf("packet %d: header seq %d/%d out of order",
+				j, h.Seq, h.Total)
 		}
+	}
+	return nil
+}
+
+// validate wraps Validate with the session's index in the run.
+func (s Session) validate(i int) error {
+	if err := s.Validate(); err != nil {
+		return fmt.Errorf("live: session %d: %w", i, err)
 	}
 	return nil
 }
@@ -132,7 +143,15 @@ type HostRecord struct {
 // SessionResult reports one session of a run.
 type SessionResult struct {
 	MsgID uint32
-	// Latency is run start to the last destination's completion ACK.
+	// StartAt is the session's first packet injection and FinishAt its
+	// last destination's completion ACK, both measured from run start.
+	// Under concurrency they bound this session alone, where Result.Wall
+	// spans every session of the run.
+	StartAt, FinishAt time.Duration
+	// Latency is the session's own duration, FinishAt - StartAt. Before
+	// per-session timestamps existed this was measured from run start, so
+	// under concurrency it silently included the wait for earlier
+	// sessions' injectors to be scheduled.
 	Latency time.Duration
 	// Hosts holds a record per tree node.
 	Hosts map[int]*HostRecord
@@ -205,6 +224,36 @@ func (e *WatchdogError) Error() string {
 // Unwrap makes errors.Is(err, ErrWatchdog) match through wrapping.
 func (e *WatchdogError) Unwrap() error { return ErrWatchdog }
 
+// ErrDuplicateSession is the sentinel every *DuplicateSessionError
+// unwraps to, so callers can classify rejections with errors.Is.
+var ErrDuplicateSession = errors.New("live: duplicate session msgID")
+
+// DuplicateSessionError rejects a run whose sessions reuse a MsgID.
+// MsgID is the only session key at shared NIs — two sessions carrying
+// the same ID collide in every common host's reassembly and arrival
+// state, even when their roots differ — so uniqueness is enforced
+// across the whole run, not merely per (root, MsgID) pair.
+type DuplicateSessionError struct {
+	// MsgID is the reused session key.
+	MsgID uint32
+	// Index is the offending session's position in the run (the second
+	// occurrence), or -1 when the collision is against an already
+	// in-flight session rather than a slice entry.
+	Index int
+	// Root is the offending session's tree root.
+	Root int
+}
+
+func (e *DuplicateSessionError) Error() string {
+	if e.Index < 0 {
+		return fmt.Sprintf("live: duplicate session msgID %d (root %d): already in flight", e.MsgID, e.Root)
+	}
+	return fmt.Sprintf("live: session %d (root %d): duplicate session msgID %d", e.Index, e.Root, e.MsgID)
+}
+
+// Unwrap makes errors.Is(err, ErrDuplicateSession) match through wrapping.
+func (e *DuplicateSessionError) Unwrap() error { return ErrDuplicateSession }
+
 // ack is one destination's completion report.
 type ack struct {
 	sess int
@@ -249,7 +298,7 @@ func Run(sessions []Session, cfg Config) (*Result, error) {
 			return nil, err
 		}
 		if seen[s.MsgID] {
-			return nil, fmt.Errorf("live: duplicate session msgID %d", s.MsgID)
+			return nil, &DuplicateSessionError{MsgID: s.MsgID, Index: i, Root: s.Tree.Root()}
 		}
 		seen[s.MsgID] = true
 		totalDests += s.Tree.Size() - 1
@@ -373,6 +422,7 @@ func assemble(rt *runtime, nis map[int]*ni, got []map[int]ack, wall time.Duratio
 	}
 	for si, s := range rt.sessions {
 		sr := SessionResult{MsgID: s.MsgID, Hosts: map[int]*HostRecord{}}
+		sr.StartAt = nis[s.Tree.Root()].sessions[s.MsgID].startAt
 		for _, v := range s.Tree.Nodes() {
 			ni := nis[v]
 			ns := ni.sessions[s.MsgID]
@@ -385,8 +435,8 @@ func assemble(rt *runtime, nis map[int]*ni, got []map[int]ack, wall time.Duratio
 			if a, ok := got[si][v]; ok {
 				rec.Data = a.data
 				rec.DoneAt = a.at
-				if a.at > sr.Latency {
-					sr.Latency = a.at
+				if a.at > sr.FinishAt {
+					sr.FinishAt = a.at
 				}
 			}
 			sr.Hosts[v] = rec
@@ -395,6 +445,7 @@ func assemble(rt *runtime, nis map[int]*ni, got []map[int]ack, wall time.Duratio
 				res.Events = append(res.Events, ns.events...)
 			}
 		}
+		sr.Latency = sr.FinishAt - sr.StartAt
 		res.Sessions[si] = sr
 	}
 	if rt.cfg.Record {

@@ -2,6 +2,7 @@ package live
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 	"time"
 
@@ -68,8 +69,11 @@ func TestSingleSessionByteExact(t *testing.T) {
 				t.Fatalf("Sends = %d, want (n-1)*m = %d", res.Sends, (n-1)*m)
 			}
 			sr := res.Sessions[0]
-			if sr.Latency <= 0 || res.Wall < sr.Latency {
-				t.Fatalf("latency %v / wall %v inconsistent", sr.Latency, res.Wall)
+			if sr.Latency <= 0 || sr.Latency != sr.FinishAt-sr.StartAt {
+				t.Fatalf("latency %v inconsistent with span %v..%v", sr.Latency, sr.StartAt, sr.FinishAt)
+			}
+			if res.Wall < sr.FinishAt {
+				t.Fatalf("session finish %v / wall %v inconsistent", sr.FinishAt, res.Wall)
 			}
 			for _, v := range tc.tr.Nodes() {
 				rec := sr.Hosts[v]
@@ -126,7 +130,41 @@ func TestMultiSessionSharedNIs(t *testing.T) {
 			if !bytes.Equal(rec.Data, want) {
 				t.Fatalf("session %d host %d delivered wrong bytes", si, v)
 			}
+			if rec.DoneAt > sr.FinishAt {
+				t.Fatalf("session %d host %d done at %v after session finish %v", si, v, rec.DoneAt, sr.FinishAt)
+			}
 		}
+		// Each session carries its own clock; the run wall spans both.
+		if sr.Latency <= 0 || sr.Latency != sr.FinishAt-sr.StartAt {
+			t.Fatalf("session %d latency %v inconsistent with span %v..%v", si, sr.Latency, sr.StartAt, sr.FinishAt)
+		}
+		if res.Wall < sr.FinishAt {
+			t.Fatalf("session %d finish %v exceeds run wall %v", si, sr.FinishAt, res.Wall)
+		}
+	}
+}
+
+func TestDuplicateSessionTypedError(t *testing.T) {
+	// Two sessions reusing one MsgID under *different* roots: MsgID is
+	// the only session key at shared NIs, so this must be rejected with
+	// the typed error even though the (root, MsgID) pairs differ.
+	data := payloadBytes(100)
+	trB := tree.New(2)
+	trB.AddChild(2, 1)
+	trB.AddChild(1, 0)
+	_, err := Run([]Session{
+		{Tree: chainTree(3), Packets: mustPacketize(t, 7, 0, data), MsgID: 7},
+		{Tree: trB, Packets: mustPacketize(t, 7, 2, data), MsgID: 7},
+	}, Config{})
+	if !errors.Is(err, ErrDuplicateSession) {
+		t.Fatalf("Run returned %v, want errors.Is(err, ErrDuplicateSession)", err)
+	}
+	var de *DuplicateSessionError
+	if !errors.As(err, &de) {
+		t.Fatalf("Run returned %T, want *DuplicateSessionError", err)
+	}
+	if de.MsgID != 7 || de.Index != 1 || de.Root != 2 {
+		t.Fatalf("DuplicateSessionError = %+v, want MsgID 7 at index 1 root 2", de)
 	}
 }
 

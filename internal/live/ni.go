@@ -24,6 +24,7 @@ type niSession struct {
 	arrivals []Arrival
 	sends    int
 	recvs    int
+	startAt  time.Duration    // at the root: first-injection instant
 	events   []sim.TraceEvent // only when Config.Record
 }
 
@@ -63,6 +64,10 @@ func startAll(rt *runtime, nis map[int]*ni) *sync.WaitGroup {
 // root NI. FPFS at the source is packet-major — packet 0 to every child,
 // then packet 1, ... — one copy at a time (the NI is a serial server).
 func inject(rt *runtime, s Session, root *ni, ns *niSession) {
+	// Stamp the session's own start before the first send: per-session
+	// latency must not charge a session for the time earlier sessions'
+	// injectors held the scheduler.
+	ns.startAt = time.Since(rt.start)
 	for j, pkt := range s.Packets {
 		for _, l := range ns.links {
 			if err := l.Send(pkt, rt.abort); err != nil {

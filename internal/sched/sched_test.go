@@ -1,0 +1,378 @@
+package sched
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/live"
+	"repro/internal/message"
+	"repro/internal/tree"
+)
+
+// chainTree builds root -> root+1 -> ... over consecutive host IDs.
+func chainTree(root, n int) *tree.Tree {
+	t := tree.New(root)
+	for v := root + 1; v < root+n; v++ {
+		t.AddChild(v-1, v)
+	}
+	return t
+}
+
+func hostRange(n int) []int {
+	hs := make([]int, n)
+	for i := range hs {
+		hs[i] = i
+	}
+	return hs
+}
+
+func payloadBytes(n, salt int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i*131 + 17 + salt*29)
+	}
+	return b
+}
+
+func mustPacketize(t *testing.T, msgID uint32, source int, data []byte) [][]byte {
+	t.Helper()
+	pkts, err := message.Packetize(msgID, source, data, 64)
+	if err != nil {
+		t.Fatalf("Packetize: %v", err)
+	}
+	return pkts
+}
+
+func TestSingleSessionByteExact(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"unbounded", Config{}},
+		{"1slot", Config{BufferPackets: 1}},
+		{"quantum1", Config{Quantum: 1, BufferPackets: 2}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := New(hostRange(5), tc.cfg)
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			defer s.Close()
+			data := payloadBytes(300, 0)
+			pkts := mustPacketize(t, 9, 0, data)
+			tr := chainTree(0, 5)
+			h, err := s.Submit(live.Session{Tree: tr, Packets: pkts, MsgID: 9})
+			if err != nil {
+				t.Fatalf("Submit: %v", err)
+			}
+			res, err := h.Wait()
+			if err != nil {
+				t.Fatalf("Wait: %v", err)
+			}
+			m := len(pkts)
+			if res.MsgID != 9 {
+				t.Fatalf("MsgID = %d, want 9", res.MsgID)
+			}
+			if res.Latency <= 0 || res.Latency != res.FinishAt-res.StartAt {
+				t.Fatalf("latency %v inconsistent with span %v..%v", res.Latency, res.StartAt, res.FinishAt)
+			}
+			if res.QueueWait < 0 || res.QueueWait != res.StartAt-res.SubmitAt {
+				t.Fatalf("queue wait %v inconsistent with %v..%v", res.QueueWait, res.SubmitAt, res.StartAt)
+			}
+			for _, v := range tr.Nodes() {
+				rec := res.Hosts[v]
+				if v == tr.Root() {
+					if rec.Recvs != 0 || rec.Data != nil {
+						t.Fatalf("root record polluted: %+v", rec)
+					}
+					if rec.Sends != m {
+						t.Fatalf("root injected %d copies, want %d", rec.Sends, m)
+					}
+					continue
+				}
+				if rec.Recvs != m {
+					t.Fatalf("host %d Recvs = %d, want %d", v, rec.Recvs, m)
+				}
+				if !bytes.Equal(rec.Data, data) {
+					t.Fatalf("host %d reassembled %d bytes, want %d", v, len(rec.Data), len(data))
+				}
+				if rec.DoneAt <= 0 || rec.DoneAt > res.FinishAt {
+					t.Fatalf("host %d DoneAt %v outside session finish %v", v, rec.DoneAt, res.FinishAt)
+				}
+				parent, _ := tr.Parent(v)
+				for i, a := range rec.Arrivals {
+					if a.Packet != i || a.From != parent {
+						t.Fatalf("host %d arrival %d = %+v, want packet %d from %d", v, i, a, i, parent)
+					}
+				}
+			}
+			st := s.Stats()
+			if st.Completed != 1 || st.Inflight != 0 {
+				t.Fatalf("stats after one session: %+v", st)
+			}
+		})
+	}
+}
+
+func TestManySessionsWindowed(t *testing.T) {
+	// 64 sessions through a window of 8 over 12 shared hosts: all must
+	// deliver byte-exact, the in-flight gauge must respect the window,
+	// and the fabric must be fully reclaimed afterwards.
+	const sessions = 64
+	s, err := New(hostRange(12), Config{Window: 8, QueueDepth: sessions, Shards: 4, Quantum: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer s.Close()
+	payloads := make([][]byte, sessions)
+	handles := make([]*Handle, sessions)
+	for i := 0; i < sessions; i++ {
+		payloads[i] = payloadBytes(200+i, i)
+		root := i % 12
+		tr := tree.New(root)
+		prev := root
+		for d := 1; d <= 5; d++ {
+			v := (root + d) % 12
+			tr.AddChild(prev, v)
+			prev = v
+		}
+		pkts := mustPacketize(t, uint32(i+1), root, payloads[i])
+		h, err := s.Submit(live.Session{Tree: tr, Packets: pkts, MsgID: uint32(i + 1)})
+		if err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+		handles[i] = h
+	}
+	for i, h := range handles {
+		res, err := h.Wait()
+		if err != nil {
+			t.Fatalf("session %d: %v", i, err)
+		}
+		for v, rec := range res.Hosts {
+			if rec.Host != v {
+				t.Fatalf("session %d host %d record mislabeled %d", i, v, rec.Host)
+			}
+			if rec.Data != nil && !bytes.Equal(rec.Data, payloads[i]) {
+				t.Fatalf("session %d host %d delivered wrong bytes", i, v)
+			}
+		}
+	}
+	st := s.Stats()
+	if st.Completed != sessions || st.Inflight != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.MaxInflight > 8 {
+		t.Fatalf("MaxInflight %d exceeded window 8", st.MaxInflight)
+	}
+	if st.DroppedFrames != 0 {
+		t.Fatalf("healthy run dropped %d frames", st.DroppedFrames)
+	}
+}
+
+func TestTypedRejections(t *testing.T) {
+	// Window 1 and a 100ms-per-hop link keep the first session in
+	// flight long enough to observe every typed rejection
+	// deterministically.
+	s, err := New(hostRange(3), Config{
+		Window:      1,
+		QueueDepth:  1,
+		LinkLatency: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer s.Close()
+	submit := func(id uint32) (*Handle, error) {
+		data := payloadBytes(120, int(id))
+		return s.Submit(live.Session{Tree: chainTree(0, 3), Packets: mustPacketize(t, id, 0, data), MsgID: id})
+	}
+	inflight, err := submit(1)
+	if err != nil {
+		t.Fatalf("Submit 1: %v", err)
+	}
+	// Wait for session 1 to leave the queue for the window, so the
+	// queue-depth assertions below are deterministic.
+	for deadline := time.Now().Add(5 * time.Second); s.Stats().Inflight == 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("session 1 never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Duplicate of an in-flight session: typed, shared with live.
+	if _, err := submit(1); !errors.Is(err, live.ErrDuplicateSession) {
+		t.Fatalf("duplicate submit returned %v, want ErrDuplicateSession", err)
+	}
+	// Fill the queue (depth 1), then overflow it.
+	queued, err := submit(2)
+	if err != nil {
+		t.Fatalf("Submit 2: %v", err)
+	}
+	if _, err := submit(3); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow submit returned %v, want ErrQueueFull", err)
+	}
+	var se *SessionError
+	if _, err := submit(3); !errors.As(err, &se) || se.MsgID != 3 {
+		t.Fatalf("overflow submit returned %v, want *SessionError for MsgID 3", err)
+	}
+	// Unknown host.
+	data := payloadBytes(80, 9)
+	_, err = s.Submit(live.Session{Tree: chainTree(2, 2), Packets: mustPacketize(t, 9, 2, data), MsgID: 9})
+	if !errors.Is(err, ErrUnknownHost) {
+		t.Fatalf("out-of-fabric submit returned %v, want ErrUnknownHost", err)
+	}
+	if _, err := inflight.Wait(); err != nil {
+		t.Fatalf("in-flight session failed: %v", err)
+	}
+	if _, err := queued.Wait(); err != nil {
+		t.Fatalf("queued session failed: %v", err)
+	}
+	st := s.Stats()
+	if st.RejectedDuplicate != 1 || st.RejectedFull != 2 || st.Completed != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestSubmitTimeout(t *testing.T) {
+	// Window 1, slow links: the second submission cannot be admitted
+	// before its 10ms submit deadline and must fail typed; the first
+	// still completes.
+	s, err := New(hostRange(2), Config{
+		Window:        1,
+		QueueDepth:    4,
+		LinkLatency:   150 * time.Millisecond,
+		SubmitTimeout: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer s.Close()
+	submit := func(id uint32) (*Handle, error) {
+		data := payloadBytes(150, int(id))
+		return s.Submit(live.Session{Tree: chainTree(0, 2), Packets: mustPacketize(t, id, 0, data), MsgID: id})
+	}
+	first, err := submit(1)
+	if err != nil {
+		t.Fatalf("Submit 1: %v", err)
+	}
+	second, err := submit(2)
+	if err != nil {
+		t.Fatalf("Submit 2: %v", err)
+	}
+	if _, err := second.Wait(); !errors.Is(err, ErrSubmitTimeout) {
+		t.Fatalf("queued session returned %v, want ErrSubmitTimeout", err)
+	}
+	if _, err := first.Wait(); err != nil {
+		t.Fatalf("first session failed: %v", err)
+	}
+	if st := s.Stats(); st.TimedOutQueue != 1 || st.Completed != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestSessionTimeoutReclaimsFabric(t *testing.T) {
+	// One timeout bound, two tree depths, single-packet payloads (with
+	// one buffer slot per NI every extra packet costs a full hop of
+	// serialization): a chain's last host needs 3 latency hops (~750ms)
+	// and must die at the 500ms deadline; a star needs 1 hop (~250ms)
+	// and must survive. The star runs after the chain's expiry over the
+	// same 1-slot NIs, proving the expired session's buffer credits were
+	// reclaimed (a leaked slot would wedge the star too).
+	const hop = 250 * time.Millisecond
+	s, err := New(hostRange(4), Config{
+		Window:         2,
+		BufferPackets:  1,
+		LinkLatency:    hop,
+		SessionTimeout: 2 * hop,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer s.Close()
+	star := func() *tree.Tree {
+		tr := tree.New(0)
+		tr.AddChild(0, 1)
+		tr.AddChild(0, 2)
+		tr.AddChild(0, 3)
+		return tr
+	}
+	data := payloadBytes(40, 1)
+	wedged, err := s.Submit(live.Session{Tree: chainTree(0, 4), Packets: mustPacketize(t, 1, 0, data), MsgID: 1})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	_, werr := wedged.Wait()
+	if !errors.Is(werr, ErrSessionTimeout) {
+		t.Fatalf("wedged session returned %v, want ErrSessionTimeout", werr)
+	}
+	var se *SessionError
+	if !errors.As(werr, &se) || se.MsgID != 1 || se.Dests != 3 {
+		t.Fatalf("wedged session error %v lacks session identity/progress", werr)
+	}
+	// Let the cancelled session's still-sleeping frames land and be
+	// dropped, then prove the slots are free again.
+	time.Sleep(4 * hop)
+	data2 := payloadBytes(40, 2)
+	fresh, err := s.Submit(live.Session{Tree: star(), Packets: mustPacketize(t, 2, 0, data2), MsgID: 2})
+	if err != nil {
+		t.Fatalf("Submit fresh: %v", err)
+	}
+	res, err := fresh.Wait()
+	if err != nil {
+		t.Fatalf("fresh session after a timeout failed: %v — buffer slots were not reclaimed", err)
+	}
+	for _, v := range []int{1, 2, 3} {
+		if !bytes.Equal(res.Hosts[v].Data, data2) {
+			t.Fatalf("fresh session delivered wrong bytes at host %d", v)
+		}
+	}
+	st := s.Stats()
+	if st.TimedOutInflight != 1 || st.Completed != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.DroppedFrames == 0 {
+		t.Fatal("expired session's late frames were never dropped")
+	}
+	// MsgID 1 is free again after the failure: reuse must be accepted.
+	reuse, err := s.Submit(live.Session{Tree: star(), Packets: mustPacketize(t, 1, 0, data), MsgID: 1})
+	if err != nil {
+		t.Fatalf("MsgID reuse after failure rejected: %v", err)
+	}
+	if _, err := reuse.Wait(); err != nil {
+		t.Fatalf("reused session failed: %v", err)
+	}
+}
+
+func TestCloseDrainsAndRejects(t *testing.T) {
+	s, err := New(hostRange(4), Config{Window: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	var handles []*Handle
+	for i := 0; i < 8; i++ {
+		data := payloadBytes(100, i)
+		h, err := s.Submit(live.Session{Tree: chainTree(0, 4), Packets: mustPacketize(t, uint32(i+1), 0, data), MsgID: uint32(i + 1)})
+		if err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+		handles = append(handles, h)
+	}
+	s.Close()
+	// Close drains: every handle must already be settled, successfully.
+	for i, h := range handles {
+		select {
+		case <-h.Done():
+		default:
+			t.Fatalf("session %d not settled after Close", i)
+		}
+		if _, err := h.Wait(); err != nil {
+			t.Fatalf("session %d failed across Close: %v", i, err)
+		}
+	}
+	data := payloadBytes(50, 99)
+	if _, err := s.Submit(live.Session{Tree: chainTree(0, 4), Packets: mustPacketize(t, 99, 0, data), MsgID: 99}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-Close submit returned %v, want ErrClosed", err)
+	}
+	s.Close() // idempotent
+}

@@ -268,6 +268,51 @@ func Optimal(chain []int, m int) (*Tree, int) {
 	return KBinomial(chain, k), k
 }
 
+// OptimalCongested builds the k-binomial tree for an m-packet multicast
+// over the chain under the simultaneous-multicast objective: among the
+// candidate fanout bounds it minimizes
+//
+//	Steps(n, m, k) + penalty * sum over candidate edges of load(edge)
+//
+// where load reports, per directed (parent, child) pair, how many
+// in-flight trees currently carry that edge (a scheduler's live edge
+// census). Every tree already resident on an edge charges penalty
+// steps — reusing a hot link delays both the resident sessions and the
+// new one, so the planner is steered toward trees that spread across
+// idle links and away from piling deeper onto already-shared ones. With
+// zero load everywhere (an idle fabric) the objective, the tie-break,
+// and therefore the constructed tree reduce exactly to Optimal's.
+//
+// It returns the tree and the selected k. penalty must be positive and
+// load non-nil; for a single-node chain it returns the trivial tree and
+// k = 1.
+func OptimalCongested(chain []int, m, penalty int, load func(parent, child int) int) (*Tree, int) {
+	checkChain(chain)
+	if penalty < 1 {
+		panic(fmt.Sprintf("tree: congestion penalty must be >= 1, got %d", penalty))
+	}
+	if load == nil {
+		panic("tree: nil load function")
+	}
+	if len(chain) == 1 {
+		return New(chain[0]), 1
+	}
+	kMax := ktree.CeilLog2(len(chain))
+	candidates := make([]*Tree, kMax+1)
+	k, _ := ktree.OptimalKPenalized(len(chain), m, func(k int) int {
+		t := KBinomial(chain, k)
+		candidates[k] = t
+		overlap := 0
+		for _, e := range t.Edges() {
+			if l := load(e.Parent, e.Child); l > 0 {
+				overlap += l
+			}
+		}
+		return penalty * overlap
+	})
+	return candidates[k], k
+}
+
 // SegmentSpans reports, for a tree built over chain by KBinomial, whether
 // every subtree spans a contiguous segment of the chain — the structural
 // property that makes the tree contention-free on a contention-free

@@ -353,3 +353,67 @@ func TestSubtreeNodes(t *testing.T) {
 		t.Fatalf("subtree of absent node = %v, want nil", got)
 	}
 }
+
+func TestOptimalCongestedIdleReducesToOptimal(t *testing.T) {
+	idle := func(int, int) int { return 0 }
+	for n := 1; n <= 40; n++ {
+		for m := 1; m <= 6; m++ {
+			t0, k0 := Optimal(chainN(n), m)
+			t1, k1 := OptimalCongested(chainN(n), m, 1, idle)
+			if k1 != k0 {
+				t.Fatalf("n=%d m=%d: idle congested k=%d, Optimal k=%d", n, m, k1, k0)
+			}
+			e0, e1 := t0.Edges(), t1.Edges()
+			if len(e0) != len(e1) {
+				t.Fatalf("n=%d m=%d: edge counts differ", n, m)
+			}
+			for i := range e0 {
+				if e0[i] != e1[i] {
+					t.Fatalf("n=%d m=%d: edge %d: %v vs %v", n, m, i, e1[i], e0[i])
+				}
+			}
+		}
+	}
+}
+
+func TestOptimalCongestedMinimizesObjective(t *testing.T) {
+	// Load every edge of the idle-optimal tree; with a heavy penalty the
+	// planner must pick the k minimizing Steps + penalty*overlap, which an
+	// exhaustive scan over candidate fanouts verifies (tie-break: larger
+	// k, matching ktree.OptimalK).
+	for _, n := range []int{5, 8, 13, 24, 40} {
+		for _, m := range []int{1, 2, 4, 8} {
+			hot, _ := Optimal(chainN(n), m)
+			loaded := map[Edge]int{}
+			for _, e := range hot.Edges() {
+				loaded[e] = 1
+			}
+			load := func(p, c int) int { return loaded[Edge{p, c}] }
+			const penalty = 50
+			got, gotK := OptimalCongested(chainN(n), m, penalty, load)
+			kMax := ktree.CeilLog2(n)
+			overlap := func(tr *Tree) int {
+				o := 0
+				for _, e := range tr.Edges() {
+					o += load(e.Parent, e.Child)
+				}
+				return o
+			}
+			bestK, best := kMax, ktree.Steps(n, m, kMax)+penalty*overlap(KBinomial(chainN(n), kMax))
+			for k := kMax - 1; k >= 1; k-- {
+				if c := ktree.Steps(n, m, k) + penalty*overlap(KBinomial(chainN(n), k)); c < best {
+					bestK, best = k, c
+				}
+			}
+			if gotK != bestK {
+				t.Fatalf("n=%d m=%d: congested k=%d, exhaustive argmin k=%d", n, m, gotK, bestK)
+			}
+			if got := ktree.Steps(n, m, gotK) + penalty*overlap(got); got != best {
+				t.Fatalf("n=%d m=%d: returned tree costs %d, argmin costs %d", n, m, got, best)
+			}
+			if err := got.Validate(chainN(n)); err != nil {
+				t.Fatalf("n=%d m=%d: congested tree invalid: %v", n, m, err)
+			}
+		}
+	}
+}
