@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check staticcheck mcastcheck soak chaos-soak net-soak daemon-soak sched-soak bench ci figures clean live-race
+.PHONY: all build test race vet fmt check staticcheck mcastcheck soak chaos-soak net-soak daemon-soak sched-soak psim-soak bench ci figures clean live-race
 
 all: check
 
@@ -107,6 +107,18 @@ sched-soak:
 	$(GO) test -race -count=1 ./internal/sched
 	$(GO) run -race ./cmd/mcastcheck -n 120 -seed 11 -workers 4 -only sched-matches-serial
 
+# Psim soak: the parallel-engine differential gate under the race
+# detector. Runs every internal/psim unit test (byte-identity vs the
+# serial simulator across disciplines, topologies and worker counts,
+# fault-plan replay, window-barrier edge cases), then a 120-case
+# psim-matches-sim sweep — each case compared bitwise against the serial
+# engine at psim worker counts 1 and 3, with the harness itself at 1 and
+# then 4 OS workers so worker-pool synchronization is raced too.
+psim-soak:
+	$(GO) test -race -count=1 ./internal/psim
+	$(GO) run -race ./cmd/mcastcheck -n 120 -seed 13 -workers 1 -only psim-matches-sim
+	$(GO) run -race ./cmd/mcastcheck -n 120 -seed 13 -workers 4 -only psim-matches-sim
+
 # Bench: the tracked performance baseline. Runs the engine event-loop,
 # harness-throughput and reliable-delivery suites with -benchmem and
 # records the parsed results as BENCH_sim.json (see DESIGN.md §10 for how
@@ -128,11 +140,13 @@ bench:
 		-benchmem -benchtime 100x ./internal/mcastd >> bench-raw.out
 	$(GO) test -run '^$$' -bench 'BenchmarkSched' \
 		-benchmem -benchtime 3x -timeout 20m ./internal/sched >> bench-raw.out
+	$(GO) test -run '^$$' -bench 'BenchmarkPsim' \
+		-benchmem -benchtime 3x -timeout 20m ./internal/psim >> bench-raw.out
 	$(GO) run ./cmd/benchjson -echo < bench-raw.out > BENCH_sim.json
 	@rm -f bench-raw.out
 	@echo "wrote BENCH_sim.json"
 
-ci: check staticcheck live-race mcastcheck chaos-soak net-soak daemon-soak sched-soak
+ci: check staticcheck live-race mcastcheck chaos-soak net-soak daemon-soak sched-soak psim-soak
 
 figures:
 	$(GO) run ./cmd/figures -out figures

@@ -19,6 +19,29 @@ func TestParseBenchLine(t *testing.T) {
 	}
 }
 
+func TestParseBenchLinePsimSubbench(t *testing.T) {
+	// The parallel-engine benchmarks emit sub-benchmarks per worker count
+	// with two custom metrics (events/sec throughput and window count);
+	// BENCH_sim.json must carry all of them.
+	line := "BenchmarkPsimMulticast100k/workers=4-8 \t       4\t 301876542 ns/op\t   1331512 events/sec\t       144 windows\t 7905312 B/op\t     801 allocs/op"
+	b, ok := parseBenchLine(line, "repro/internal/psim")
+	if !ok {
+		t.Fatalf("line not parsed: %q", line)
+	}
+	if b.Name != "BenchmarkPsimMulticast100k/workers=4" || b.Procs != 8 {
+		t.Fatalf("parsed %+v", b)
+	}
+	want := map[string]float64{
+		"ns/op": 301876542, "events/sec": 1331512, "windows": 144,
+		"B/op": 7905312, "allocs/op": 801,
+	}
+	for unit, v := range want {
+		if b.Metrics[unit] != v {
+			t.Errorf("metric %s = %v, want %v", unit, b.Metrics[unit], v)
+		}
+	}
+}
+
 func TestParseBenchLineNoProcsSuffix(t *testing.T) {
 	b, ok := parseBenchLine("BenchmarkFoo \t 100 \t 5.5 ns/op", "p")
 	if !ok || b.Name != "BenchmarkFoo" || b.Procs != 0 || b.Metrics["ns/op"] != 5.5 {

@@ -5,6 +5,7 @@
 //
 //	mcastsim [-seed 1] [-dests 15] [-packets 8] [-tree optimal|binomial|linear|k]
 //	         [-k 3] [-ni fpfs|fcfs|conventional] [-model packet|flit]
+//	         [-mesh AxD] [-workers N]
 //	         [-wseed 7] [-verbose] [-timeline] [-trace-json FILE]
 //	         [-live]
 //	         [-sessions N] [-window W]
@@ -30,6 +31,15 @@
 // heartbeat failure detector: the run prints every epoch-numbered group
 // view installed while the session reconfigured, and -quorum Q accepts a
 // partial delivery of at least Q destinations instead of failing.
+//
+// -workers N runs the packet-model simulation on the sharded parallel
+// discrete-event engine (internal/psim): hosts are partitioned across N
+// workers that process conservative lookahead windows in parallel, and
+// the result is byte-identical to the serial simulator at any worker
+// count. -mesh ARITYxDIMS swaps the irregular testbed for a mesh, which
+// is how the 100k-host configurations are built:
+//
+//	mcastsim -mesh 317x2 -dests 100488 -packets 2 -tree k -k 4 -workers 4
 //
 // -live executes the plan for real instead of simulating it: one
 // goroutine per participating NI runs the FPFS discipline over channel
@@ -89,6 +99,7 @@ import (
 	"repro/internal/live/link"
 	"repro/internal/membership"
 	"repro/internal/message"
+	"repro/internal/psim"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -112,6 +123,8 @@ func main() {
 	netRun := flag.Bool("net", false, "with -live: dial every tree edge over a loopback UDP socket instead of channel links")
 	liveTimeout := flag.Duration("live-timeout", 0, "watchdog timeout for -live runs (0 = the 30s default)")
 	model := flag.String("model", "packet", "network model: packet (fast reservation) or flit (cycle-accurate wormhole)")
+	mesh := flag.String("mesh", "", "use an ARITYxDIMS mesh instead of the irregular testbed (e.g. 317x2 = 100489 hosts)")
+	workers := flag.Int("workers", 0, "simulate on the sharded parallel event engine with N workers (0 = serial engine)")
 	reliableRun := flag.Bool("reliable", false, "use the ACK/NACK reliable-delivery protocol (implied by any fault flag)")
 	droprate := flag.Float64("droprate", 0, "per-transmission packet loss probability [0,1)")
 	faultSpec := flag.String("faults", "", "fault directives: kill:LINK@T,stall:HOST@FROM-UNTIL,corrupt:P,ackdrop:P,seed:N")
@@ -121,7 +134,22 @@ func main() {
 	quorum := flag.Int("quorum", 0, "destinations required for partial delivery under crashes (0 = all)")
 	flag.Parse()
 
-	sys := repro.NewIrregularSystem(repro.DefaultIrregularConfig(), *seed)
+	var sys *repro.System
+	if *mesh != "" {
+		arity, dims, err := parseMesh(*mesh)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcastsim: -mesh: %v\n", err)
+			os.Exit(1)
+		}
+		sys = repro.NewMeshSystem(arity, dims)
+	} else {
+		sys = repro.NewIrregularSystem(repro.DefaultIrregularConfig(), *seed)
+	}
+
+	if *workers > 0 && (*liveRun || *sessions > 0 || *reliableRun || *droprate > 0 || *faultSpec != "" || len(crashes) > 0 || *model == "flit") {
+		fmt.Fprintln(os.Stderr, "mcastsim: -workers applies to the packet-model simulation path only (not -live, -sessions, -model flit, or fault/reliable runs)")
+		os.Exit(1)
+	}
 
 	var policy repro.TreePolicy
 	switch *treeKind {
@@ -213,6 +241,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mcastsim: unknown model %q\n", *model)
 		os.Exit(1)
 	}
+	if *workers > 0 {
+		fmt.Printf("system: %s (seed %d)\n", sys.Net.Summary(), *seed)
+		fmt.Printf("spec:   source h%d, %d destinations, %d packets, %s tree, %s NI (parallel engine)\n",
+			spec.Source, len(spec.Dests), spec.Packets, policy, disc)
+		fmt.Printf("plan:   k=%d, tree depth=%d, root degree=%d, model bound %d steps, measured %d steps\n",
+			plan.K, plan.Tree.Depth(), plan.Tree.RootDegree(), plan.ModelSteps, plan.Steps())
+		runPsim(sys, plan, disc, *workers, *verbose, *timeline, *traceJSON)
+		return
+	}
 	res := sys.Simulate(plan, repro.DefaultParams(), disc)
 
 	fmt.Printf("system: %s (seed %d)\n", sys.Net.Summary(), *seed)
@@ -244,6 +281,65 @@ func main() {
 		if *traceJSON != "" {
 			writeChromeTrace(*traceJSON, events)
 		}
+	}
+}
+
+// parseMesh parses an "ARITYxDIMS" mesh geometry like "317x2".
+func parseMesh(spec string) (arity, dims int, err error) {
+	a, d, ok := strings.Cut(spec, "x")
+	if !ok {
+		return 0, 0, fmt.Errorf("geometry %q is not ARITYxDIMS", spec)
+	}
+	arity, err1 := strconv.Atoi(a)
+	dims, err2 := strconv.Atoi(d)
+	if err1 != nil || err2 != nil || arity < 2 || dims < 1 {
+		return 0, 0, fmt.Errorf("geometry %q: arity must be >= 2 and dims >= 1", spec)
+	}
+	return arity, dims, nil
+}
+
+// runPsim simulates the plan on the sharded parallel event engine
+// (internal/psim) and reports the result — byte-identical to the serial
+// simulator's by construction — plus the engine's window statistics.
+func runPsim(sys *repro.System, plan *repro.Plan, disc repro.Discipline, workers int, verbose, timeline bool, traceJSON string) {
+	p := repro.DefaultParams()
+	sessions := []repro.Session{{Tree: plan.Tree, Packets: plan.Spec.Packets}}
+	var ws psim.WindowStats
+	cfg := psim.Config{Workers: workers, Stats: &ws}
+	var res *repro.ConcurrentResult
+	var events []sim.TraceEvent
+	if timeline || traceJSON != "" {
+		res, events = psim.ConcurrentTraced(sys.Router, sessions, p, disc, true, cfg)
+	} else {
+		res = psim.Concurrent(sys.Router, sessions, p, disc, cfg)
+	}
+
+	maxBuf := 0
+	for _, b := range res.MaxBuffered {
+		if b > maxBuf {
+			maxBuf = b
+		}
+	}
+	fmt.Printf("result: latency %.1f us, %d sends, channel wait %.1f us, peak NI buffer %d packets\n",
+		res.Sessions[0].Latency, res.Sends, res.ChannelWait, maxBuf)
+	fmt.Printf("psim:   %d workers, %d windows of lookahead %.2f us, %d events (%.0f/window, min %.0f max %.0f), %d cross-partition deliveries\n",
+		ws.Workers, ws.Windows, ws.Lookahead, ws.Events,
+		ws.PerWindow.Mean(), ws.PerWindow.Min(), ws.PerWindow.Max(), ws.Mailed)
+
+	if verbose {
+		fmt.Println("\nper-destination completion (us):")
+		for _, d := range plan.Chain[1:] {
+			fmt.Printf("  h%-3d %8.1f\n", d, res.Sessions[0].HostDone[d])
+		}
+	}
+	if timeline {
+		fmt.Println()
+		fmt.Print(trace.Timeline(events, trace.TimelineOptions{Width: 100, Session: -1}))
+		fmt.Println()
+		fmt.Print(trace.Collect(events).String())
+	}
+	if traceJSON != "" {
+		writeChromeTrace(traceJSON, events)
 	}
 }
 

@@ -1,10 +1,18 @@
-// Command topogen generates a random irregular switch topology (the
-// paper's 64-host / 16-switch testbed by default) and emits it as JSON or
-// Graphviz DOT.
+// Command topogen generates a switch topology — the paper's 64-host /
+// 16-switch irregular testbed by default, or a regular mesh with -mesh —
+// and emits it as JSON or Graphviz DOT.
 //
 // Usage:
 //
 //	topogen [-seed 1] [-hosts 64] [-switches 16] [-ports 8] [-format json|dot]
+//	        [-mesh ARITYxDIMS] [-stats]
+//
+// The generators preallocate dense adjacency, so 100k-host topologies
+// build in linear time: topogen -hosts 100000 -switches 25000 -ports 12,
+// or topogen -mesh 317x2. -stats computes the up*/down* root and tree
+// depth with a plain BFS — not by instantiating the router, whose
+// all-pairs next-hop tables are quadratic in the switch count and would
+// need ~10 GB at 25k switches.
 package main
 
 import (
@@ -12,8 +20,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
-	"repro/internal/routing"
 	"repro/internal/topology"
 	"repro/internal/workload"
 )
@@ -23,12 +32,23 @@ func main() {
 	hosts := flag.Int("hosts", 64, "number of hosts")
 	switches := flag.Int("switches", 16, "number of switches")
 	ports := flag.Int("ports", 8, "ports per switch")
+	mesh := flag.String("mesh", "", "generate an ARITYxDIMS mesh (e.g. 317x2 = 100489 hosts) instead of an irregular topology")
 	format := flag.String("format", "json", "output format: json or dot")
 	stats := flag.Bool("stats", false, "print topology statistics to stderr")
 	flag.Parse()
 
-	cfg := topology.IrregularConfig{Hosts: *hosts, Switches: *switches, Ports: *ports}
-	net := topology.Irregular(cfg, workload.NewRNG(*seed))
+	var net *topology.Network
+	if *mesh != "" {
+		arity, dims, err := parseMesh(*mesh)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "topogen: -mesh: %v\n", err)
+			os.Exit(1)
+		}
+		net = topology.Mesh(arity, dims)
+	} else {
+		cfg := topology.IrregularConfig{Hosts: *hosts, Switches: *switches, Ports: *ports}
+		net = topology.Irregular(cfg, workload.NewRNG(*seed))
+	}
 
 	switch *format {
 	case "json":
@@ -46,14 +66,55 @@ func main() {
 	}
 
 	if *stats {
-		r := routing.NewUpDown(net)
-		maxLevel := 0
-		for s := 0; s < net.NumSwitches(); s++ {
-			if l := r.Level(s); l > maxLevel {
-				maxLevel = l
+		root, depth := upDownShape(net)
+		fmt.Fprintf(os.Stderr, "topology: %s\n", net.Summary())
+		fmt.Fprintf(os.Stderr, "up*/down* root: switch %d, tree depth %d\n", root, depth)
+	}
+}
+
+// parseMesh parses an "ARITYxDIMS" mesh geometry like "317x2".
+func parseMesh(spec string) (arity, dims int, err error) {
+	a, d, ok := strings.Cut(spec, "x")
+	if !ok {
+		return 0, 0, fmt.Errorf("geometry %q is not ARITYxDIMS", spec)
+	}
+	arity, err1 := strconv.Atoi(a)
+	dims, err2 := strconv.Atoi(d)
+	if err1 != nil || err2 != nil || arity < 2 || dims < 1 {
+		return 0, 0, fmt.Errorf("geometry %q: arity must be >= 2 and dims >= 1", spec)
+	}
+	return arity, dims, nil
+}
+
+// upDownShape computes the up*/down* root (the highest-degree switch,
+// routing.NewUpDown's rule) and its BFS tree depth in O(switches + links),
+// without building the router's quadratic all-pairs next-hop tables.
+func upDownShape(net *topology.Network) (root, depth int) {
+	s := net.NumSwitches()
+	bestDeg := -1
+	for i := 0; i < s; i++ {
+		if d := len(net.SwitchNeighbors(i)); d > bestDeg {
+			root, bestDeg = i, d
+		}
+	}
+	level := make([]int, s)
+	for i := range level {
+		level[i] = -1
+	}
+	level[root] = 0
+	queue := make([]int, 0, s)
+	queue = append(queue, root)
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
+		for _, nb := range net.SwitchNeighbors(cur) {
+			if level[nb] < 0 {
+				level[nb] = level[cur] + 1
+				queue = append(queue, nb)
+				if level[nb] > depth {
+					depth = level[nb]
+				}
 			}
 		}
-		fmt.Fprintf(os.Stderr, "topology: %s\n", net.Summary())
-		fmt.Fprintf(os.Stderr, "up*/down* root: switch %d, tree depth %d\n", r.Root(), maxLevel)
 	}
+	return root, depth
 }

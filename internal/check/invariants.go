@@ -60,6 +60,7 @@ var Invariants = []Invariant{
 	{"net-matches-live", "the same instance executed over loopback UDP sockets is structurally identical to the in-process live run: delivery order, parent edges, send/receive counts, byte-exact payloads", checkNetMatchesLive},
 	{"net-faulty-delivery", "the instance split across two cooperating daemon processes over a lossy UDP fabric still delivers byte-exactly with a clean Delivered verdict — retransmission, ACKs and DONE/STOP handshakes all crossing real sockets", checkNetFaultyDelivery},
 	{"sched-matches-serial", "three sessions run concurrently through the session scheduler — shared NIs, a window smaller than the load, DRR fair queueing — deliver byte-exactly with per-host send/receive counts and arrival order identical to each session run alone through the live runtime", checkSchedMatchesSerial},
+	{"psim-matches-sim", "the sharded parallel event engine is byte-identical to the serial simulator at every worker count: same results bitwise, same trace order, same fault-RNG draw sequence — lossless and under a fault plan with a kill timed exactly on the first window boundary", checkPsimMatchesSim},
 }
 
 // InvariantByID returns the catalogue entry with the given ID.

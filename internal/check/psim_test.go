@@ -1,0 +1,33 @@
+package check
+
+import (
+	"testing"
+)
+
+// TestPsimSweep is the acceptance gate for the parallel event engine: 120
+// seeded harness instances, each run through psim at 1 and 3 workers and
+// compared bitwise against the serial simulator — results, traces, and
+// fault outcomes. CI runs the check package under -race, so the sweep
+// also validates the worker pool's synchronization.
+func TestPsimSweep(t *testing.T) {
+	inv, ok := InvariantByID("psim-matches-sim")
+	if !ok {
+		t.Fatal("psim-matches-sim invariant not registered")
+	}
+	const cases = 120
+	failed := 0
+	for c := 0; c < cases; c++ {
+		inst := Generate(13, c)
+		w, err := safeBuild(inst)
+		if err != nil {
+			t.Fatalf("case %d: build: %v", c, err)
+		}
+		if err := safeCheck(inv, w); err != nil {
+			failed++
+			t.Errorf("case %d (replay: mcastcheck -seed 13 -case %d): %v", c, c, err)
+			if failed >= 5 {
+				t.Fatal("stopping after 5 differential failures")
+			}
+		}
+	}
+}

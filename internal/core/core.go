@@ -70,6 +70,22 @@ type System struct {
 	ktab *ktree.Table
 }
 
+// ktabCap bounds the eagerly precomputed optimal-k table. Table.K falls
+// back to a direct OptimalK computation beyond the precomputed range with
+// identical results, so the cap changes no planned tree — it only stops
+// System construction from spending O(hosts·64) dynamic programs when a
+// 100k-host network is built (a 6-figure multicast set pays one direct
+// OptimalK per Plan instead, microseconds).
+const ktabCap = 4096
+
+func planTable(numHosts int) *ktree.Table {
+	n := numHosts
+	if n > ktabCap {
+		n = ktabCap
+	}
+	return ktree.NewTable(n, 64)
+}
+
 // NewIrregularSystem generates the paper's irregular testbed for a seed:
 // a random connected switch network per cfg, up*/down* routing, and the
 // CCO base ordering.
@@ -80,7 +96,7 @@ func NewIrregularSystem(cfg topology.IrregularConfig, seed uint64) *System {
 		Net:    net,
 		Router: router,
 		Ord:    ordering.CCO(router),
-		ktab:   ktree.NewTable(net.NumHosts(), 64),
+		ktab:   planTable(net.NumHosts()),
 	}
 }
 
@@ -94,7 +110,7 @@ func NewCubeSystem(arity, dims int) *System {
 		Ord:    ordering.Dimension(net, arity, dims),
 		arity:  arity,
 		dims:   dims,
-		ktab:   ktree.NewTable(net.NumHosts(), 64),
+		ktab:   planTable(net.NumHosts()),
 	}
 }
 
@@ -107,7 +123,7 @@ func NewMeshSystem(arity, dims int) *System {
 		Net:    net,
 		Router: routing.NewMeshDimOrder(net, arity, dims),
 		Ord:    ordering.Dimension(net, arity, dims),
-		ktab:   ktree.NewTable(net.NumHosts(), 64),
+		ktab:   planTable(net.NumHosts()),
 	}
 }
 

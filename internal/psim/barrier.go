@@ -1,0 +1,122 @@
+package psim
+
+import (
+	"repro/internal/routing"
+	"repro/internal/sim"
+)
+
+// barrier ends a window: it merges the workers' action streams into the
+// serial engine's processing order and resolves every shared-state effect
+// — channel reservations, fault sampling, seq burning, trace records,
+// result counters — then mails the created events to their owners'
+// inboxes for the next window.
+//
+// Each worker's stream is already sorted (events were processed in heap
+// order; actions within an event in creation order), so a W-way min scan
+// over the stream heads yields the global order.
+func (e *engine) barrier() {
+	ws := e.workers
+	heads := e.heads
+	for i := range heads {
+		heads[i] = 0
+	}
+	for {
+		best := -1
+		for i := range ws {
+			if heads[i] >= len(ws[i].actions) {
+				continue
+			}
+			if best < 0 || actionLess(&ws[i].actions[heads[i]], &ws[best].actions[heads[best]]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		act := &ws[best].actions[heads[best]]
+		heads[best]++
+		e.resolve(act)
+	}
+	for i := range ws {
+		ws[i].actions = ws[i].actions[:0]
+	}
+}
+
+// resolve performs one deferred effect. The aIntent arm is the serial
+// engine's startOne, statement for statement: the same float additions in
+// the same order (bitwise-identical ChannelWait), the same short-circuit
+// fault sampling (identical RNG draw sequence), and complete scheduled
+// before deliver (identical seq pairing).
+func (e *engine) resolve(act *action) {
+	switch act.kind {
+	case aIntent:
+		tab := e.tabs[act.sess]
+		ed := &tab.edges[act.edge]
+		v := int(act.host)
+		earliest := act.at + e.faults.StallDelay(v, act.at) + e.p.TNISend
+		start, arrive := e.reservePath(ed.route, earliest)
+		e.res.ChannelWait += start - earliest
+		e.res.Sends++
+		if e.trace != nil {
+			*e.trace = append(*e.trace, sim.TraceEvent{
+				Kind: "inject", Time: start, Host: v, Peer: int(ed.child),
+				Session: int(act.sess), Packet: int(act.packet), Wait: start - earliest,
+			})
+		}
+		delivers := !(e.faults.RouteDead(ed.route, start) || e.faults.SampleDrop() || e.faults.SampleCorrupt())
+		e.ctr++
+		e.mail(pevent{at: start + e.wire, ord: e.ctr, kind: evComplete,
+			sess: act.sess, host: act.host, packet: act.packet})
+		if delivers {
+			e.ctr++
+			e.mail(pevent{at: arrive + e.p.TNIRecv, ord: e.ctr, kind: evDeliver,
+				sess: act.sess, host: ed.child, packet: act.packet})
+			if e.owner[act.host] != e.owner[ed.child] {
+				e.crossed++
+			}
+		}
+	case aDeliverRec:
+		*e.trace = append(*e.trace, sim.TraceEvent{
+			Kind: "deliver", Time: act.at, Host: int(act.host), Peer: int(act.peer),
+			Session: int(act.sess), Packet: int(act.packet),
+		})
+	case aDone:
+		tab := e.tabs[act.sess]
+		slot := int(tab.slot[act.host]) - 1
+		tab.niDone[slot] = act.at
+		tab.hostDone[slot] = act.at + e.p.THostRecv
+		if e.trace != nil {
+			*e.trace = append(*e.trace, sim.TraceEvent{
+				Kind: "done", Time: act.at + e.p.THostRecv, Host: int(act.host),
+				Peer: -1, Session: int(act.sess), Packet: -1,
+			})
+		}
+	case aFwd:
+		// Burn the forward event's seq at its serial creation point. If it
+		// fires beyond the window it becomes an ordinary assigned event;
+		// if it fired inside the window, the worker already processed it
+		// under its creator key, which this seq is ordered exactly like.
+		e.ctr++
+		if act.at >= e.wEnd {
+			e.mail(pevent{at: act.at, ord: e.ctr, kind: evFwd,
+				sess: act.sess, host: act.host, edge: act.edge})
+		}
+	}
+}
+
+// reservePath is the serial Engine.ReservePath on psim's own channel
+// state: identical arithmetic, identical results.
+func (e *engine) reservePath(route routing.Route, earliest float64) (start, arrival float64) {
+	T := earliest
+	router := e.p.RouterDelay
+	for i, c := range route.Channels {
+		if need := e.chanFree[c] - float64(i)*router; need > T {
+			T = need
+		}
+	}
+	for i, c := range route.Channels {
+		e.chanFree[c] = T + float64(i)*router + e.wire
+	}
+	last := float64(len(route.Channels)-1) * router
+	return T, T + last + e.wire
+}

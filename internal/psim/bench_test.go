@@ -1,0 +1,76 @@
+package psim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/stepsim"
+	"repro/internal/topology"
+	"repro/internal/tree"
+)
+
+// benchWorkload builds an n-host mesh multicast reaching every host, with
+// routes and the partition precomputed so the benchmark prices the event
+// engine, not route or partition construction.
+func benchWorkload(arity, dims, workers int) (routing.Router, []sim.Session, Config) {
+	net := topology.Mesh(arity, dims)
+	router := routing.NewMeshDimOrder(net, arity, dims)
+	chain := make([]int, net.NumHosts())
+	for i := range chain {
+		chain[i] = i
+	}
+	tr := tree.KBinomial(chain, 4)
+	routes := make(map[[2]int]routing.Route, net.NumHosts())
+	for _, v := range tr.Nodes() {
+		for _, c := range tr.Children(v) {
+			routes[[2]int{v, c}] = router.Route(v, c)
+		}
+	}
+	sessions := []sim.Session{{Tree: tr, Packets: 2}}
+	cfg := Config{
+		Workers: workers,
+		Parts:   topology.Partition(net, workers),
+		Routes:  routes,
+	}
+	return router, sessions, cfg
+}
+
+func benchPsim(b *testing.B, arity, dims, workers int) {
+	router, sessions, cfg := benchWorkload(arity, dims, workers)
+	var ws WindowStats
+	cfg.Stats = &ws
+	p := sim.DefaultParams()
+	Concurrent(router, sessions, p, stepsim.FPFS, cfg) // warm pools and caches
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Concurrent(router, sessions, p, stepsim.FPFS, cfg)
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(ws.Events)*float64(b.N)/secs, "events/sec")
+	}
+	b.ReportMetric(float64(ws.Windows), "windows")
+}
+
+// BenchmarkPsimMulticast100k is the headline scale benchmark: one
+// multicast covering all 100489 hosts of a 317x317 mesh (~400k events).
+// Multi-worker speedup requires real cores — on a single-CPU host the
+// workers=4 arm measures the coordination overhead instead.
+func BenchmarkPsimMulticast100k(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			benchPsim(b, 317, 2, workers)
+		})
+	}
+}
+
+// BenchmarkPsimMulticast10k is the mid-scale datapoint (10000 hosts).
+func BenchmarkPsimMulticast10k(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			benchPsim(b, 100, 2, workers)
+		})
+	}
+}

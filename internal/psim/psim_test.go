@@ -1,0 +1,288 @@
+package psim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/netiface"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/stepsim"
+	"repro/internal/topology"
+	"repro/internal/tree"
+	"repro/internal/workload"
+)
+
+// testParams keeps the arithmetic on exact binary fractions so a correct
+// parallel schedule is bitwise-identical, never merely close.
+func testParams() sim.Params {
+	return sim.Params{
+		THostSend:   8,
+		THostRecv:   4,
+		TNISend:     3,
+		TNIRecv:     0.5,
+		PacketBytes: 64,
+		LinkBytesUS: 32, // wire = 2.0
+		RouterDelay: 0.25,
+	}
+}
+
+func meshRouter(arity, dims int) routing.Router {
+	net := topology.Mesh(arity, dims)
+	return routing.NewMeshDimOrder(net, arity, dims)
+}
+
+func irregularRouter(seed uint64) routing.Router {
+	net := topology.Irregular(topology.IrregularConfig{Hosts: 48, Switches: 12, Ports: 6},
+		workload.NewRNG(seed))
+	return routing.NewUpDown(net)
+}
+
+// overlappingSessions builds three sessions whose trees share hosts and
+// whose starts stagger, so NIs and channels are contended across
+// sessions — the hard case for any reordering bug.
+func overlappingSessions(numHosts int) []sim.Session {
+	chainA := make([]int, 0, numHosts)
+	for h := 0; h < numHosts; h++ {
+		chainA = append(chainA, h)
+	}
+	chainB := make([]int, 0, numHosts/2+1)
+	for h := numHosts - 1; h >= 0; h -= 2 {
+		chainB = append(chainB, h)
+	}
+	chainC := []int{3, 11, 7, 0, numHosts - 1, 5}
+	return []sim.Session{
+		{Tree: tree.KBinomial(chainA, 3), Packets: 3, Start: 0},
+		{Tree: tree.KBinomial(chainB, 2), Packets: 2, Start: 5},
+		{Tree: tree.KBinomial(chainC, 1), Packets: 4, Start: 11},
+	}
+}
+
+// expectMatch runs the serial oracle and psim at several worker counts
+// and requires bitwise-identical results and traces.
+func expectMatch(t *testing.T, router routing.Router, sessions []sim.Session,
+	p sim.Params, disc stepsim.Discipline, cfg Config) {
+	t.Helper()
+	wantRes, wantTrace := sim.ConcurrentTraced(router, sessions, p, disc, true)
+	for _, workers := range []int{1, 2, 3, 4} {
+		c := cfg
+		c.Workers = workers
+		gotRes, gotTrace := ConcurrentTraced(router, sessions, p, disc, true, c)
+		if !reflect.DeepEqual(gotRes, wantRes) {
+			t.Fatalf("workers=%d: result diverged\n got %+v\nwant %+v", workers, gotRes, wantRes)
+		}
+		if len(gotTrace) != len(wantTrace) {
+			t.Fatalf("workers=%d: %d trace events, want %d", workers, len(gotTrace), len(wantTrace))
+		}
+		for i := range wantTrace {
+			if gotTrace[i] != wantTrace[i] {
+				t.Fatalf("workers=%d: trace[%d] = %+v, want %+v", workers, i, gotTrace[i], wantTrace[i])
+			}
+		}
+	}
+}
+
+// TestMatchesSerial is the core differential: every discipline, port
+// count, and topology family, at 1-4 workers, against the serial oracle.
+func TestMatchesSerial(t *testing.T) {
+	for _, disc := range []stepsim.Discipline{stepsim.FPFS, stepsim.FCFS, stepsim.Conventional} {
+		for _, ports := range []int{1, 2} {
+			p := testParams()
+			p.NIPorts = ports
+			mesh := meshRouter(4, 2)
+			expectMatch(t, mesh, overlappingSessions(16), p, disc, Config{})
+			irr := irregularRouter(7)
+			expectMatch(t, irr, overlappingSessions(48), p, disc, Config{})
+		}
+	}
+}
+
+// TestMatchesSerialFaulty pins the fault plane: the RNG draw order, the
+// stall accumulation order, and dead-link accounting must all replay the
+// serial sequence, or drops land on different packets.
+func TestMatchesSerialFaulty(t *testing.T) {
+	p := testParams()
+	plan := sim.FaultPlan{
+		Seed:        42,
+		DropRate:    0.08,
+		CorruptRate: 0.03,
+		Stalls: []sim.HostStall{
+			{Host: 2, Stall: netiface.Stall{From: 10, Until: 40}},
+			{Host: 7, Stall: netiface.Stall{From: 0, Until: 25}},
+		},
+		Kills: []sim.LinkKill{{Link: 3, At: 30}, {Link: 9, At: 55}},
+	}
+	for _, disc := range []stepsim.Discipline{stepsim.FPFS, stepsim.FCFS, stepsim.Conventional} {
+		router := meshRouter(4, 2)
+		sessions := overlappingSessions(16)
+		want, err := sim.ConcurrentFaulty(router, sessions, p, disc, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 3} {
+			got, err := ConcurrentFaulty(router, sessions, p, disc, plan, Config{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("disc=%v workers=%d: faulty result diverged\n got %+v\nwant %+v",
+					disc, workers, got, want)
+			}
+		}
+	}
+}
+
+// TestWindowEdges covers the barrier's boundary cases, table-driven:
+// windows degraded to a single timestamp, partitions with no hosts,
+// zero-overhead Conventional forwards landing at their creator's exact
+// timestamp, and link kills timed exactly on a window boundary.
+func TestWindowEdges(t *testing.T) {
+	base := testParams()
+	zeroOverhead := base
+	zeroOverhead.THostSend = 0
+	zeroOverhead.THostRecv = 0
+	// With testParams and a session starting at 0, the first event fires
+	// at t=8 and the lookahead is t_ns + wire = 5, so the first window is
+	// exactly [8, 13): 13.0 is the first boundary a kill can sit on.
+	const boundary = 13.0
+	eps := 1e-9
+	cases := []struct {
+		name string
+		p    sim.Params
+		disc stepsim.Discipline
+		cfg  Config
+		plan *sim.FaultPlan
+	}{
+		{name: "zero-lookahead-window-override", p: base, disc: stepsim.FPFS,
+			cfg: Config{Window: 1e-12}},
+		{name: "zero-lookahead-conventional", p: base, disc: stepsim.Conventional,
+			cfg: Config{Window: 1e-12}},
+		{name: "empty-partitions", p: base, disc: stepsim.FCFS,
+			cfg: Config{Workers: 3, Parts: allToWorkerZero(16, t)}},
+		{name: "same-timestamp-forwards", p: zeroOverhead, disc: stepsim.Conventional,
+			cfg: Config{}},
+		{name: "kill-before-boundary", p: base, disc: stepsim.FPFS,
+			plan: &sim.FaultPlan{Seed: 1, Kills: []sim.LinkKill{{Link: 2, At: boundary - eps}}}},
+		{name: "kill-on-boundary", p: base, disc: stepsim.FPFS,
+			plan: &sim.FaultPlan{Seed: 1, Kills: []sim.LinkKill{{Link: 2, At: boundary}}}},
+		{name: "kill-after-boundary", p: base, disc: stepsim.FPFS,
+			plan: &sim.FaultPlan{Seed: 1, Kills: []sim.LinkKill{{Link: 2, At: boundary + eps}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			router := meshRouter(4, 2)
+			sessions := overlappingSessions(16)
+			if tc.plan == nil {
+				expectMatch(t, router, sessions, tc.p, tc.disc, tc.cfg)
+				return
+			}
+			want, err := sim.ConcurrentFaulty(router, sessions, tc.p, tc.disc, *tc.plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 4} {
+				cfg := tc.cfg
+				cfg.Workers = workers
+				got, err := ConcurrentFaulty(router, sessions, tc.p, tc.disc, *tc.plan, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("workers=%d: diverged\n got %+v\nwant %+v", workers, got, want)
+				}
+			}
+		})
+	}
+}
+
+func allToWorkerZero(hosts int, t *testing.T) []int {
+	t.Helper()
+	return make([]int, hosts) // workers 1 and 2 own no hosts
+}
+
+// TestWindowStats checks the synchronization counters: every simulated
+// event is counted exactly once, and the lookahead is t_ns + wire.
+func TestWindowStats(t *testing.T) {
+	router := meshRouter(4, 2)
+	sessions := overlappingSessions(16)
+	p := testParams()
+	var ws WindowStats
+	Concurrent(router, sessions, p, stepsim.FPFS, Config{Workers: 2, Stats: &ws})
+	if ws.Workers != 2 {
+		t.Errorf("Workers = %d, want 2", ws.Workers)
+	}
+	if want := p.TNISend + p.WireTime(); ws.Lookahead != want {
+		t.Errorf("Lookahead = %v, want %v", ws.Lookahead, want)
+	}
+	if ws.Windows < 2 {
+		t.Errorf("Windows = %d, want several", ws.Windows)
+	}
+	// Events: 1 start per session + 2 per delivered copy + 1 per
+	// undelivered completion; lossless, so every non-root node of every
+	// session receives every packet from one parent send — count sends
+	// from the oracle instead of re-deriving tree shapes.
+	res := sim.Concurrent(router, sessions, p, stepsim.FPFS)
+	wantEvents := len(sessions) + 2*res.Sends
+	if ws.Events != wantEvents {
+		t.Errorf("Events = %d, want %d", ws.Events, wantEvents)
+	}
+	if ws.PerWindow.N() != ws.Windows {
+		t.Errorf("PerWindow.N = %d, want %d", ws.PerWindow.N(), ws.Windows)
+	}
+	if ws.Mailed <= 0 {
+		t.Errorf("Mailed = %d, want > 0 (slab partition of an overlapping workload must cut edges)", ws.Mailed)
+	}
+}
+
+// TestPrecomputedRoutes checks the Config.Routes fast path returns the
+// same results as router-resolved routes.
+func TestPrecomputedRoutes(t *testing.T) {
+	router := meshRouter(4, 2)
+	sessions := overlappingSessions(16)
+	p := testParams()
+	routes := map[[2]int]routing.Route{}
+	for _, sess := range sessions {
+		for _, v := range sess.Tree.Nodes() {
+			for _, c := range sess.Tree.Children(v) {
+				routes[[2]int{v, c}] = router.Route(v, c)
+			}
+		}
+	}
+	want := sim.Concurrent(router, sessions, p, stepsim.FPFS)
+	got := Concurrent(router, sessions, p, stepsim.FPFS, Config{Workers: 2, Routes: routes})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("precomputed routes diverged\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestConfigPanics pins the partition-validation errors.
+func TestConfigPanics(t *testing.T) {
+	router := meshRouter(2, 2)
+	sessions := []sim.Session{{Tree: tree.KBinomial([]int{0, 1, 2}, 1), Packets: 1}}
+	expectPanic := func(name string, cfg Config) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		Concurrent(router, sessions, testParams(), stepsim.FPFS, cfg)
+	}
+	expectPanic("short parts", Config{Workers: 2, Parts: []int{0, 1}})
+	expectPanic("part out of range", Config{Workers: 2, Parts: []int{0, 1, 2, 0}})
+}
+
+// TestReuse runs different workloads back-to-back through the pooled
+// engine so stale carcass state (slot maps, queues, counters) would
+// surface as divergence on the second run.
+func TestReuse(t *testing.T) {
+	p := testParams()
+	mesh := meshRouter(4, 2)
+	irr := irregularRouter(3)
+	for i := 0; i < 3; i++ {
+		expectMatch(t, mesh, overlappingSessions(16), p, stepsim.FPFS, Config{})
+		expectMatch(t, irr, overlappingSessions(48), p, stepsim.Conventional, Config{})
+		one := []sim.Session{{Tree: tree.KBinomial([]int{5, 1}, 1), Packets: 1, Start: 2}}
+		expectMatch(t, mesh, one, p, stepsim.FCFS, Config{})
+	}
+}

@@ -1,0 +1,453 @@
+package psim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stepsim"
+)
+
+// Event kinds. Start/complete/deliver mirror the serial engine's three
+// callback shapes; fwd is the Conventional discipline's host-level
+// store-and-forward copy event.
+const (
+	evStart uint8 = iota
+	evComplete
+	evDeliver
+	evFwd
+)
+
+// ordUnassigned marks an event created inside the current window whose
+// serial seq has not been burned yet; it is ordered by its creator key
+// until the barrier assigns the real seq.
+const ordUnassigned = ^uint64(0)
+
+// pevent is one scheduled event. ord is the serial engine's seq for this
+// event; (cat, c0, c1) = (creator event time, creator event seq, creation
+// index within the creator) order the event while ord is unassigned.
+type pevent struct {
+	at     float64
+	ord    uint64
+	cat    float64
+	c0     uint64
+	c1     uint32
+	kind   uint8
+	sess   int32
+	host   int32
+	packet int32
+	edge   int32
+}
+
+// keyLess replicates the serial engine's (at, seq) heap order.
+//
+//   - Both assigned: compare seqs directly.
+//   - Assigned vs unassigned at the same time: assigned first. Unassigned
+//     events only exist during the window that created them, and their
+//     seqs are burned at that window's barrier — strictly after every seq
+//     an already-assigned event can hold.
+//   - Both unassigned: seqs are burned in creation order, which is
+//     (creator's serial position, index within creator). Creators of
+//     in-window events are always assigned (forwards are created only by
+//     delivers), so the creator's serial position is (cat, c0).
+func keyLess(a, b *pevent) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	aAssigned, bAssigned := a.ord != ordUnassigned, b.ord != ordUnassigned
+	if aAssigned && bAssigned {
+		return a.ord < b.ord
+	}
+	if aAssigned != bAssigned {
+		return aAssigned
+	}
+	if a.cat != b.cat {
+		return a.cat < b.cat
+	}
+	if a.c0 != b.c0 {
+		return a.c0 < b.c0
+	}
+	return a.c1 < b.c1
+}
+
+// Action kinds. Actions are the shared-state effects a worker's window
+// defers to the barrier, recorded in creation order.
+const (
+	aIntent     uint8 = iota // host v wants to inject (sess, edge, packet) at time at
+	aDeliverRec              // trace-only: a packet was received
+	aDone                    // a destination completed its message at NI time at
+	aFwd                     // a Conventional forward event was created for time at
+)
+
+// action carries one deferred effect plus its creator event's full key,
+// so the barrier can merge all workers' streams into the serial engine's
+// processing order.
+type action struct {
+	cAt    float64 // creator event time
+	cOrd   uint64  // creator event seq, or ordUnassigned
+	cat    float64 // unassigned creators: their creator's time...
+	cC0    uint64  // ...and seq
+	cC1    uint32  // ...and creation index
+	idx    uint32  // creation index within the creator event
+	kind   uint8
+	sess   int32
+	host   int32
+	peer   int32
+	packet int32
+	edge   int32
+	at     float64
+}
+
+// actionLess orders actions by (creator event serial order, creation
+// index) — exactly the order the serial engine performs these effects.
+func actionLess(a, b *action) bool {
+	if a.cAt != b.cAt {
+		return a.cAt < b.cAt
+	}
+	aAssigned, bAssigned := a.cOrd != ordUnassigned, b.cOrd != ordUnassigned
+	if aAssigned && bAssigned {
+		if a.cOrd != b.cOrd {
+			return a.cOrd < b.cOrd
+		}
+		return a.idx < b.idx
+	}
+	if aAssigned != bAssigned {
+		return aAssigned
+	}
+	if a.cat != b.cat {
+		return a.cat < b.cat
+	}
+	if a.cC0 != b.cC0 {
+		return a.cC0 < b.cC0
+	}
+	if a.cC1 != b.cC1 {
+		return a.cC1 < b.cC1
+	}
+	return a.idx < b.idx
+}
+
+// worker is one partition's execution state: an event heap, an inbox the
+// barrier mails into, and the window's action stream.
+type worker struct {
+	heap      []pevent
+	inbox     []pevent
+	actions   []action
+	localMin  float64
+	processed int
+
+	// creator key of the event currently being processed; emit copies it
+	// into each action.
+	cAt  float64
+	cOrd uint64
+	cat  float64
+	cC0  uint64
+	cC1  uint32
+	idx  uint32
+}
+
+func (w *worker) push(ev pevent) {
+	w.heap = append(w.heap, ev)
+	h := w.heap
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !keyLess(&h[i], &h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (w *worker) pop() pevent {
+	h := w.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	w.heap = h[:n]
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && keyLess(&h[l], &h[least]) {
+			least = l
+		}
+		if r < n && keyLess(&h[r], &h[least]) {
+			least = r
+		}
+		if least == i {
+			break
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+	return top
+}
+
+// drain is phase A: absorb mailed events, report the partition's minimum.
+func (w *worker) drain() {
+	for _, ev := range w.inbox {
+		w.push(ev)
+	}
+	w.inbox = w.inbox[:0]
+	if len(w.heap) > 0 {
+		w.localMin = w.heap[0].at
+	} else {
+		w.localMin = math.Inf(1)
+	}
+}
+
+// emit records one action under the current creator key and returns its
+// creation index.
+func (w *worker) emit(a action) uint32 {
+	a.cAt, a.cOrd, a.cat, a.cC0, a.cC1 = w.cAt, w.cOrd, w.cat, w.cC0, w.cC1
+	a.idx = w.idx
+	w.idx++
+	w.actions = append(w.actions, a)
+	return a.idx
+}
+
+// runWindow is phase B: process every event of this partition that fires
+// before wEnd. Forward events created inside the window re-enter the heap
+// and are caught by the loop's re-check of the top.
+func (e *engine) runWindow(w *worker) {
+	n := 0
+	for len(w.heap) > 0 && w.heap[0].at < e.wEnd {
+		ev := w.pop()
+		w.cAt, w.cOrd, w.cat, w.cC0, w.cC1, w.idx = ev.at, ev.ord, ev.cat, ev.c0, ev.c1, 0
+		switch ev.kind {
+		case evStart:
+			e.processStart(w, &ev)
+		case evComplete:
+			e.processComplete(w, &ev)
+		case evDeliver:
+			e.processDeliver(w, &ev)
+		case evFwd:
+			e.processFwd(w, &ev)
+		}
+		n++
+	}
+	w.processed = n
+}
+
+// processStart is the session-start callback: the source host has spent
+// t_s and its NI now holds all m packets.
+func (e *engine) processStart(w *worker, ev *pevent) {
+	tab := e.tabs[ev.sess]
+	slot := int(tab.slot[ev.host]) - 1
+	m := tab.m
+	tab.recv[slot] = int32(m)
+	deg := int(tab.deg[slot])
+	if deg == 0 {
+		return
+	}
+	v := ev.host
+	e.buffered[v] += int32(m)
+	if e.buffered[v] > e.maxBuf[v] {
+		e.maxBuf[v] = e.buffered[v]
+	}
+	base := slot * m
+	for j := 0; j < m; j++ {
+		tab.copies[base+j] = int32(deg)
+	}
+	e.enqueueAll(tab, ev.sess, v, slot)
+	e.pump(w, v, ev.at)
+}
+
+// processComplete fires when a packet copy has left the sending NI.
+func (e *engine) processComplete(w *worker, ev *pevent) {
+	tab := e.tabs[ev.sess]
+	slot := int(tab.slot[ev.host]) - 1
+	e.inFlight[ev.host]--
+	ci := slot*tab.m + int(ev.packet)
+	tab.copies[ci]--
+	if tab.copies[ci] == 0 {
+		e.buffered[ev.host]--
+	}
+	e.pump(w, ev.host, ev.at)
+}
+
+// processDeliver fires when a packet has fully arrived at the receiving
+// NI. The statement order — receive count, trace record, buffer
+// accounting, completion, dispatch — replicates the serial deliver.
+func (e *engine) processDeliver(w *worker, ev *pevent) {
+	tab := e.tabs[ev.sess]
+	slot := int(tab.slot[ev.host]) - 1
+	dst := ev.host
+	tab.recv[slot]++
+	deg := int(tab.deg[slot])
+	if e.traced {
+		w.emit(action{kind: aDeliverRec, sess: ev.sess, host: dst,
+			peer: tab.parent[slot], packet: ev.packet, at: ev.at})
+	}
+	if deg > 0 {
+		tab.copies[slot*tab.m+int(ev.packet)] = int32(deg)
+		e.buffered[dst]++
+		if e.buffered[dst] > e.maxBuf[dst] {
+			e.maxBuf[dst] = e.buffered[dst]
+		}
+	}
+	if int(tab.recv[slot]) == tab.m {
+		w.emit(action{kind: aDone, sess: ev.sess, host: dst, at: ev.at})
+	}
+	if deg == 0 {
+		return
+	}
+	switch e.disc {
+	case stepsim.FPFS, stepsim.FCFS:
+		e.enqueueOne(tab, ev.sess, dst, slot, ev.packet)
+		e.pump(w, dst, ev.at)
+	case stepsim.Conventional:
+		if int(tab.recv[slot]) == tab.m {
+			base := ev.at + e.p.THostRecv
+			cb := tab.childBase[slot]
+			for i := 0; i < deg; i++ {
+				at := base + float64(i+1)*e.p.THostSend
+				idx := w.emit(action{kind: aFwd, sess: ev.sess, host: dst,
+					edge: cb + int32(i), at: at})
+				if at < e.wEnd {
+					// The forward fires inside this same window: run it
+					// here, ordered by its creator key; the barrier burns
+					// its seq when it reaches the aFwd action.
+					w.push(pevent{at: at, ord: ordUnassigned,
+						cat: ev.at, c0: ev.ord, c1: idx,
+						kind: evFwd, sess: ev.sess, host: dst, edge: cb + int32(i)})
+				}
+			}
+		}
+	}
+}
+
+// processFwd is the Conventional store-and-forward copy: the host software
+// hands all m packets for one child to its NI.
+func (e *engine) processFwd(w *worker, ev *pevent) {
+	tab := e.tabs[ev.sess]
+	q := &e.queues[ev.host]
+	for j := 0; j < tab.m; j++ {
+		q.ops = append(q.ops, qop{sess: ev.sess, edge: ev.edge, packet: int32(j)})
+	}
+	e.pump(w, ev.host, ev.at)
+}
+
+// enqueueAll queues every packet of a session at its source, per the
+// discipline (the source always holds the complete message).
+func (e *engine) enqueueAll(tab *sessTab, si, v int32, slot int) {
+	q := &e.queues[v]
+	m := tab.m
+	base := tab.childBase[slot]
+	deg := int(tab.deg[slot])
+	switch e.disc {
+	case stepsim.FPFS, stepsim.Conventional:
+		for j := 0; j < m; j++ {
+			for ei := 0; ei < deg; ei++ {
+				q.ops = append(q.ops, qop{sess: si, edge: base + int32(ei), packet: int32(j)})
+			}
+		}
+	case stepsim.FCFS:
+		for j := 0; j < m; j++ {
+			q.ops = append(q.ops, qop{sess: si, edge: base, packet: int32(j)})
+		}
+		for ei := 1; ei < deg; ei++ {
+			for j := 0; j < m; j++ {
+				q.ops = append(q.ops, qop{sess: si, edge: base + int32(ei), packet: int32(j)})
+			}
+		}
+	default:
+		panic(fmt.Sprintf("psim: unknown discipline %v", e.disc))
+	}
+}
+
+// enqueueOne queues one just-received packet at a forwarder (smart
+// disciplines only; Conventional forwards via fwd events instead).
+func (e *engine) enqueueOne(tab *sessTab, si, v int32, slot int, pkt int32) {
+	q := &e.queues[v]
+	base := tab.childBase[slot]
+	deg := int(tab.deg[slot])
+	switch e.disc {
+	case stepsim.FPFS:
+		for ei := 0; ei < deg; ei++ {
+			q.ops = append(q.ops, qop{sess: si, edge: base + int32(ei), packet: pkt})
+		}
+	case stepsim.FCFS:
+		q.ops = append(q.ops, qop{sess: si, edge: base, packet: pkt})
+		if int(tab.recv[slot]) == tab.m {
+			for ei := 1; ei < deg; ei++ {
+				for j := 0; j < tab.m; j++ {
+					q.ops = append(q.ops, qop{sess: si, edge: base + int32(ei), packet: int32(j)})
+				}
+			}
+		}
+	}
+}
+
+// pump starts queued injections while the NI has free ports. Starting one
+// is an intent action — the channel reservation, fault sampling and event
+// creation happen at the barrier, in serial order.
+func (e *engine) pump(w *worker, v int32, now float64) {
+	q := &e.queues[v]
+	ports := int32(e.ports)
+	for e.inFlight[v] < ports && q.head < len(q.ops) {
+		o := q.ops[q.head]
+		q.head++
+		e.inFlight[v]++
+		w.emit(action{kind: aIntent, sess: o.sess, host: v,
+			edge: o.edge, packet: o.packet, at: now})
+	}
+	if q.head == len(q.ops) {
+		q.ops, q.head = q.ops[:0], 0
+	}
+}
+
+// Worker-pool phases.
+const (
+	phaseDrain uint8 = iota + 1
+	phaseWindow
+)
+
+// workerPool runs phases A and B on persistent goroutines, one per
+// worker. Command send / completion receive pairs give the barrier's
+// writes (mailed inboxes, wEnd) a happens-before edge into the workers
+// and the workers' writes (heaps, actions) one back into the barrier.
+type workerPool struct {
+	e    *engine
+	cmds []chan uint8
+	done chan struct{}
+}
+
+func startPool(e *engine) *workerPool {
+	p := &workerPool{
+		e:    e,
+		cmds: make([]chan uint8, len(e.workers)),
+		done: make(chan struct{}, len(e.workers)),
+	}
+	for i := range e.workers {
+		cmd := make(chan uint8, 1)
+		p.cmds[i] = cmd
+		go func(w *worker, cmd chan uint8) {
+			for c := range cmd {
+				if c == phaseDrain {
+					w.drain()
+				} else {
+					e.runWindow(w)
+				}
+				p.done <- struct{}{}
+			}
+		}(&e.workers[i], cmd)
+	}
+	return p
+}
+
+func (p *workerPool) broadcast(phase uint8) {
+	for _, c := range p.cmds {
+		c <- phase
+	}
+	for range p.cmds {
+		<-p.done
+	}
+}
+
+func (p *workerPool) stop() {
+	for _, c := range p.cmds {
+		close(c)
+	}
+}

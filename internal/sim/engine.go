@@ -227,7 +227,10 @@ func NewEngine(numChannels int) *Engine {
 	e.now, e.seq, e.faults = 0, 0, nil
 	e.events = e.events[:0]
 	if cap(e.chanFree) < numChannels {
-		e.chanFree = make([]float64, numChannels)
+		// Round the allocation up so a pooled engine cycling through
+		// networks of slightly different sizes converges instead of
+		// re-allocating on every growth by one channel.
+		e.chanFree = make([]float64, numChannels, ceilPow2(numChannels))
 	} else {
 		e.chanFree = e.chanFree[:numChannels]
 		for i := range e.chanFree {
@@ -235,6 +238,15 @@ func NewEngine(numChannels int) *Engine {
 		}
 	}
 	return e
+}
+
+// ceilPow2 returns the smallest power of two >= n (min 1).
+func ceilPow2(n int) int {
+	c := 1
+	for c < n {
+		c <<= 1
+	}
+	return c
 }
 
 // Recycle returns the engine's storage to the pool. The engine must not
@@ -251,10 +263,14 @@ func (e *Engine) Recycle() {
 
 // Grow pre-sizes the event heap for n additional events, so a run whose
 // event count is known up front (2 per packet transmission) pays at most
-// one heap growth.
+// one heap growth. The capacity is rounded up to a power of two: a pooled
+// engine alternating between runs of different sizes used to re-grow on
+// every run whose exact need exceeded the last one's — at 100k hosts that
+// was a multi-megabyte allocation per simulation. With rounding, the
+// backing array monotonically converges to the workload's high-water mark.
 func (e *Engine) Grow(n int) {
 	if need := len(e.events) + n; need > cap(e.events) {
-		grown := make(eventHeap, len(e.events), need)
+		grown := make(eventHeap, len(e.events), ceilPow2(need))
 		copy(grown, e.events)
 		e.events = grown
 	}

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/routing"
 	"repro/internal/stepsim"
@@ -79,24 +80,33 @@ type sessOp struct {
 	packet int
 }
 
-// sessNode is the per-(session, host) protocol state.
+// sessNode is the per-(session, host) protocol state. copiesLeft is a
+// window into the concSim arena; it is written (start/deliver) before it
+// is ever read (complete), so the arena needs no per-run clearing.
 type sessNode struct {
-	arrivals   []float64
 	received   int
 	copiesLeft []int
 }
 
 // hostNI is the shared per-host network interface: one send queue and one
 // buffer pool across sessions. sess is indexed by session number (nil for
-// sessions this host takes no part in).
+// sessions this host takes no part in). The queue is consumed by head
+// index instead of re-slicing, so its backing array survives the whole
+// run (and, via the carcass pool, across runs).
 type hostNI struct {
 	queue       []sessOp
+	head        int
 	inFlight    int // copies currently being injected (bounded by Params.Ports)
 	buffered    int
 	maxBuffered int
 	sess        []*sessNode
 }
 
+// concSim carries one concurrent run. The carcass — host table, session
+// arenas, route cache, op free list, event engine — is recycled through a
+// sync.Pool: a steady-state run allocates only what escapes to the caller
+// (the result and its maps). Host state is invalidated by epoch stamp, so
+// a 100k-host table resets in O(involved hosts), not O(hosts).
 type concSim struct {
 	eng    *Engine
 	p      Params
@@ -104,13 +114,30 @@ type concSim struct {
 	router routing.Router
 	wire   float64
 	specs  []Session
-	nis    []*hostNI // indexed by host id; nil for uninvolved hosts
+
+	nis      []hostNI // indexed by host id
+	niEpoch  []uint64 // per-host stamp; != epoch means "not touched this run"
+	epoch    uint64
+	involved []int // hosts touched this run, in first-touch order
+
+	snodes []sessNode // arena: one entry per (session, tree node)
+	arrI   []int      // arena backing every sessNode.copiesLeft
+
+	// routes caches router.Route(parent, child) for every tree edge seen
+	// since the cache was last keyed to a different router. Routes depend
+	// only on the router and the endpoints — not on trees or sessions —
+	// so the cache survives across runs until the router changes.
 	routes map[[2]int]routing.Route
+
 	res    *ConcurrentResult
 	trace  *[]TraceEvent
 	faults *FaultState
 	free   []*sendOp
 }
+
+var concPool = sync.Pool{New: func() any {
+	return &concSim{routes: make(map[[2]int]routing.Route)}
+}}
 
 // sendOp is one in-flight packet copy. The struct carries everything its
 // two engine callbacks need, and the callbacks themselves are bound once
@@ -207,36 +234,64 @@ func concurrentRun(router routing.Router, sessions []Session, p Params, disc ste
 		panic("sim: no sessions")
 	}
 	// Pre-size everything whose extent is known up front: the host table,
-	// the route map, and the event heap (two events per packet copy, one
-	// start event per session).
-	totalNodes, totalEvents := 0, len(sessions)
+	// the session arenas, and the event heap (two events per packet copy,
+	// one start event per session).
+	totalNodes, totalSlots, totalEvents := 0, 0, len(sessions)
 	for _, sess := range sessions {
 		n := len(sess.Tree.Nodes())
 		totalNodes += n
+		totalSlots += n * sess.Packets
 		totalEvents += 2 * (n - 1) * sess.Packets
 	}
-	s := &concSim{
-		eng:    NewEngine(router.Network().NumChannels()),
-		p:      p,
-		disc:   disc,
-		router: router,
-		wire:   p.WireTime(),
-		specs:  sessions,
-		nis:    make([]*hostNI, router.Network().NumHosts()),
-		routes: make(map[[2]int]routing.Route, totalNodes),
-		res: &ConcurrentResult{
-			Sessions:    make([]SessionResult, len(sessions)),
-			MaxBuffered: map[int]int{},
-		},
-		faults: faults,
+	s := concPool.Get().(*concSim)
+	s.eng = NewEngine(router.Network().NumChannels())
+	s.p, s.disc, s.wire = p, disc, p.WireTime()
+	s.specs = sessions
+	s.faults = faults
+	if s.router != router {
+		// Route cache keyed to the router by identity: a new router (new
+		// topology or rebuilt tables) invalidates everything; reusing the
+		// same router — the harness and benchmark steady state — keeps
+		// every previously computed route.
+		s.router = router
+		clear(s.routes)
+	}
+	s.epoch++
+	s.involved = s.involved[:0]
+	numHosts := router.Network().NumHosts()
+	if cap(s.nis) < numHosts {
+		s.nis = make([]hostNI, numHosts)
+		s.niEpoch = make([]uint64, numHosts)
+	} else {
+		s.nis = s.nis[:numHosts]
+		s.niEpoch = s.niEpoch[:numHosts]
+	}
+	if cap(s.snodes) < totalNodes {
+		s.snodes = make([]sessNode, totalNodes)
+	} else {
+		s.snodes = s.snodes[:totalNodes]
+	}
+	if cap(s.arrI) < totalSlots {
+		s.arrI = make([]int, totalSlots)
+	} else {
+		s.arrI = s.arrI[:totalSlots]
+	}
+	s.res = &ConcurrentResult{
+		Sessions:    make([]SessionResult, len(sessions)),
+		MaxBuffered: map[int]int{},
 	}
 	s.eng.SetFaults(faults)
 	s.eng.Grow(totalEvents)
-	defer s.eng.Recycle()
+	defer func() {
+		s.eng.Recycle()
+		s.eng, s.specs, s.res, s.trace, s.faults = nil, nil, nil, nil, nil
+		concPool.Put(s)
+	}()
 	var events []TraceEvent
 	if traced {
 		s.trace = &events
 	}
+	sni, slot := 0, 0
 	for si, sess := range sessions {
 		if sess.Packets < 1 {
 			panic(fmt.Sprintf("sim: session %d has %d packets", si, sess.Packets))
@@ -251,10 +306,12 @@ func concurrentRun(router routing.Router, sessions []Session, p Params, disc ste
 		}
 		for _, v := range nodes {
 			ni := s.ni(v)
-			ni.sess[si] = &sessNode{
-				arrivals:   make([]float64, sess.Packets),
-				copiesLeft: make([]int, sess.Packets),
-			}
+			sn := &s.snodes[sni]
+			sni++
+			sn.received = 0
+			sn.copiesLeft = s.arrI[slot : slot+sess.Packets : slot+sess.Packets]
+			slot += sess.Packets
+			ni.sess[si] = sn
 			for _, c := range sess.Tree.Children(v) {
 				key := [2]int{v, c}
 				if _, ok := s.routes[key]; !ok {
@@ -269,12 +326,9 @@ func concurrentRun(router routing.Router, sessions []Session, p Params, disc ste
 		sess := sessions[si]
 		root := sess.Tree.Root()
 		s.eng.At(sess.Start+p.THostSend, func() {
-			ni := s.ni(root)
+			ni := &s.nis[root]
 			sn := ni.sess[si]
-			for j := 0; j < sess.Packets; j++ {
-				sn.arrivals[j] = s.eng.Now()
-				sn.received++
-			}
+			sn.received = sess.Packets
 			if deg := len(sess.Tree.Children(root)); deg > 0 {
 				ni.buffered += sess.Packets
 				if ni.buffered > ni.maxBuffered {
@@ -317,10 +371,8 @@ func concurrentRun(router routing.Router, sessions []Session, p Params, disc ste
 	if faults != nil {
 		s.res.Faults = faults.Stats
 	}
-	for v, ni := range s.nis {
-		if ni == nil {
-			continue
-		}
+	for _, v := range s.involved {
+		ni := &s.nis[v]
 		forwarder := false
 		for si, sess := range sessions {
 			if ni.sess[si] != nil && len(sess.Tree.Children(v)) > 0 && sess.Tree.Contains(v) {
@@ -334,11 +386,20 @@ func concurrentRun(router routing.Router, sessions []Session, p Params, disc ste
 	return s.res, events
 }
 
+// ni returns host h's interface, resetting it on first touch this run.
 func (s *concSim) ni(h int) *hostNI {
-	ni := s.nis[h]
-	if ni == nil {
-		ni = &hostNI{sess: make([]*sessNode, len(s.specs))}
-		s.nis[h] = ni
+	ni := &s.nis[h]
+	if s.niEpoch[h] != s.epoch {
+		s.niEpoch[h] = s.epoch
+		s.involved = append(s.involved, h)
+		ni.queue = ni.queue[:0]
+		ni.head, ni.inFlight, ni.buffered, ni.maxBuffered = 0, 0, 0, 0
+		if cap(ni.sess) < len(s.specs) {
+			ni.sess = make([]*sessNode, len(s.specs))
+		} else {
+			ni.sess = ni.sess[:len(s.specs)]
+			clear(ni.sess)
+		}
 	}
 	return ni
 }
@@ -346,7 +407,7 @@ func (s *concSim) ni(h int) *hostNI {
 // enqueue appends forwarding ops for the given packets of session si at
 // node v per the discipline, then kicks the NI.
 func (s *concSim) enqueue(si, v int, packets []int) {
-	ni := s.nis[v]
+	ni := &s.nis[v]
 	sn := ni.sess[si]
 	children := s.specs[si].Tree.Children(v)
 	m := s.specs[si].Packets
@@ -375,15 +436,19 @@ func (s *concSim) enqueue(si, v int, packets []int) {
 }
 
 func (s *concSim) pump(v int) {
-	ni := s.nis[v]
-	for ni.inFlight < s.p.Ports() && len(ni.queue) > 0 {
+	ni := &s.nis[v]
+	for ni.inFlight < s.p.Ports() && ni.head < len(ni.queue) {
 		s.startOne(v, ni)
+	}
+	if ni.head == len(ni.queue) {
+		ni.queue = ni.queue[:0]
+		ni.head = 0
 	}
 }
 
 func (s *concSim) startOne(v int, ni *hostNI) {
-	o := ni.queue[0]
-	ni.queue = ni.queue[1:]
+	o := ni.queue[ni.head]
+	ni.head++
 	ni.inFlight++
 	route := s.routes[[2]int{v, o.to}]
 	earliest := s.eng.Now() + s.faults.StallDelay(v, s.eng.Now()) + s.p.TNISend
@@ -410,9 +475,8 @@ func (s *concSim) startOne(v int, ni *hostNI) {
 }
 
 func (s *concSim) deliver(si, dst, pkt int) {
-	ni := s.nis[dst]
+	ni := &s.nis[dst]
 	sn := ni.sess[si]
-	sn.arrivals[pkt] = s.eng.Now()
 	sn.received++
 	sess := s.specs[si]
 	children := sess.Tree.Children(dst)

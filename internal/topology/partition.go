@@ -1,0 +1,75 @@
+package topology
+
+import "fmt"
+
+// Partition assigns every host to one of parts workers and returns the
+// owner index per host. Two strategies, picked by the network's shape:
+//
+//   - Grid networks (Cube/Mesh, host id == switch id): contiguous
+//     host-index slabs. Row-major grid numbering makes a contiguous index
+//     range an axis-aligned slab, so only the links crossing slab
+//     boundaries in the highest dimension are cut — the edge-cut-minimal
+//     family for equal-sized parts on a grid.
+//   - Irregular networks: a splitmix64 hash of the host id. Random wiring
+//     has no geometry to exploit; hashing balances load and keeps the
+//     assignment independent of switch numbering.
+//
+// Slabs are balanced to within one host. parts may exceed the host count;
+// the surplus parts simply own no hosts (the parallel simulator tolerates
+// empty partitions). Partition panics if parts < 1.
+func Partition(net *Network, parts int) []int {
+	if parts < 1 {
+		panic(fmt.Sprintf("topology: partition into %d parts", parts))
+	}
+	n := net.NumHosts()
+	owner := make([]int, n)
+	if _, _, ok := net.Grid(); ok {
+		for h := 0; h < n; h++ {
+			owner[h] = h * parts / n
+		}
+		return owner
+	}
+	for h := 0; h < n; h++ {
+		owner[h] = int(splitmix64(uint64(h)) % uint64(parts))
+	}
+	return owner
+}
+
+// EdgeCut counts the switch-switch links whose endpoints belong to
+// different parts under the given host-owner assignment, attributing each
+// switch to the part of its lowest attached host. Switches with no hosts
+// are skipped. It is a diagnostic for partition quality: cross-part links
+// bound the cross-worker mailbox traffic of a parallel run.
+func EdgeCut(net *Network, owner []int) int {
+	if len(owner) != net.NumHosts() {
+		panic(fmt.Sprintf("topology: owner slice has %d entries for %d hosts",
+			len(owner), net.NumHosts()))
+	}
+	part := make([]int, net.NumSwitches())
+	for s := range part {
+		part[s] = -1
+		if hosts := net.SwitchHosts(s); len(hosts) > 0 {
+			part[s] = owner[hosts[0]]
+		}
+	}
+	cut := 0
+	for _, l := range net.Links() {
+		if l.A.Kind != SwitchNode || l.B.Kind != SwitchNode {
+			continue
+		}
+		pa, pb := part[l.A.Index], part[l.B.Index]
+		if pa >= 0 && pb >= 0 && pa != pb {
+			cut++
+		}
+	}
+	return cut
+}
+
+// splitmix64 is the SplitMix64 finalizer — a cheap, well-mixed hash for
+// host ids (Steele, Lea & Flood, OOPSLA 2014).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,135 @@
+package topology
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestGenerationAllocBudget pins the 100k-host scale path: dense
+// preallocation plus incremental candidate/pool maintenance keep
+// generation at a fixed handful of allocations. The old per-switch
+// rebuilds allocated O(S) slices in the spanning-tree phase and up to
+// 64·S pool copies in the surplus phase (hundreds of thousands of
+// allocations at this size).
+func TestGenerationAllocBudget(t *testing.T) {
+	meshAllocs := testing.AllocsPerRun(3, func() {
+		Mesh(317, 2) // 100489 hosts
+	})
+	if meshAllocs > 64 {
+		t.Errorf("Mesh(317,2) = %.0f allocs per run, budget 64", meshAllocs)
+	}
+	cfg := IrregularConfig{Hosts: 100000, Switches: 25000, Ports: 8}
+	irrAllocs := testing.AllocsPerRun(3, func() {
+		Irregular(cfg, workload.NewRNG(7))
+	})
+	if irrAllocs > 128 {
+		t.Errorf("Irregular(100k hosts) = %.0f allocs per run, budget 128", irrAllocs)
+	}
+}
+
+// TestIrregularMatchesQuadraticReference re-implements the original
+// O(S²) generator (per-switch candidate rebuild, per-try pool rebuild)
+// and asserts the shipped incremental version consumes the identical RNG
+// draw sequence and emits the identical switch-switch link list — every
+// seeded topology in every downstream test and harness sweep is
+// unchanged by the scale rewrite.
+func TestIrregularMatchesQuadraticReference(t *testing.T) {
+	configs := []IrregularConfig{
+		DefaultIrregular(),
+		{Hosts: 40, Switches: 10, Ports: 6},
+		{Hosts: 64, Switches: 16, Ports: 8, ExtraDegree: 2},
+		{Hosts: 9, Switches: 9, Ports: 4},
+	}
+	for _, cfg := range configs {
+		for seed := uint64(1); seed <= 8; seed++ {
+			want := referenceIrregularLinks(cfg, workload.NewRNG(seed))
+			net := Irregular(cfg, workload.NewRNG(seed))
+			var got [][2]int
+			for _, l := range net.Links() {
+				if l.A.Kind == SwitchNode && l.B.Kind == SwitchNode {
+					got = append(got, [2]int{l.A.Index, l.B.Index})
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("cfg %+v seed %d: %d switch links, reference has %d",
+					cfg, seed, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("cfg %+v seed %d: link %d = %v, reference %v",
+						cfg, seed, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// referenceIrregularLinks is the pre-rewrite generator, reduced to the
+// switch-switch wiring decisions: rebuild the candidate list per switch
+// and the surplus pool per try, drawing from rng exactly as the original
+// did. Returns (A,B) switch index pairs in link-creation order.
+func referenceIrregularLinks(cfg IrregularConfig, rng *workload.RNG) [][2]int {
+	hostsOn := make([]int, cfg.Switches)
+	for h := 0; h < cfg.Hosts; h++ {
+		hostsOn[h%cfg.Switches]++
+	}
+	free := make([]int, cfg.Switches)
+	maxDeg := cfg.Ports
+	if cfg.ExtraDegree > 0 {
+		maxDeg = cfg.ExtraDegree
+	}
+	for s := 0; s < cfg.Switches; s++ {
+		free[s] = cfg.Ports - hostsOn[s]
+		if cfg.ExtraDegree > 0 && free[s] > maxDeg {
+			free[s] = maxDeg
+		}
+	}
+	var out [][2]int
+	if cfg.Switches <= 1 {
+		return out
+	}
+	order := rng.Perm(cfg.Switches)
+	connected := []int{order[0]}
+	for _, s := range order[1:] {
+		cands := make([]int, 0, len(connected))
+		for _, c := range connected {
+			if free[c] > 0 {
+				cands = append(cands, c)
+			}
+		}
+		if len(cands) == 0 {
+			panic("reference: spanning tree ran out of ports")
+		}
+		p := cands[rng.Intn(len(cands))]
+		out = append(out, [2]int{s, p})
+		free[s]--
+		free[p]--
+		connected = append(connected, s)
+	}
+	hasLink := map[[2]int]bool{}
+	for _, l := range out {
+		hasLink[pairKey(l[0], l[1])] = true
+	}
+	for tries := 0; tries < 64*cfg.Switches; tries++ {
+		var pool []int
+		for s := 0; s < cfg.Switches; s++ {
+			if free[s] > 0 {
+				pool = append(pool, s)
+			}
+		}
+		if len(pool) < 2 {
+			break
+		}
+		a := pool[rng.Intn(len(pool))]
+		c := pool[rng.Intn(len(pool))]
+		if a == c || hasLink[pairKey(a, c)] {
+			continue
+		}
+		out = append(out, [2]int{a, c})
+		hasLink[pairKey(a, c)] = true
+		free[a]--
+		free[c]--
+	}
+	return out
+}

@@ -98,6 +98,11 @@ type Network struct {
 	hostSwitch  []int   // host index -> switch index it attaches to
 	switchLinks [][]int // switch index -> IDs of incident links (all kinds)
 	switchHosts [][]int // switch index -> attached host indices (ascending)
+
+	// grid geometry when built by Cube or Mesh (arity^dims switches, host
+	// id == switch id); zero for irregular networks. Partition uses it to
+	// cut contiguous slabs instead of hashing.
+	gridArity, gridDims int
 }
 
 // NumHosts returns the processor count.
@@ -108,6 +113,14 @@ func (n *Network) NumSwitches() int { return n.numSwitches }
 
 // SwitchPorts returns the per-switch port budget (0 if unconstrained).
 func (n *Network) SwitchPorts() int { return n.switchPorts }
+
+// Grid reports the arity^dims geometry when the network was built by Cube
+// or Mesh (one host per switch, host id == switch id), and ok=false for
+// irregular networks. Partitioners use it to cut contiguous coordinate
+// slabs with minimal edge cut.
+func (n *Network) Grid() (arity, dims int, ok bool) {
+	return n.gridArity, n.gridDims, n.gridArity > 0
+}
 
 // Links returns all links. The slice is owned by the network.
 func (n *Network) Links() []Link { return n.links }
@@ -231,6 +244,34 @@ func newBuilder(hosts, switches, ports int) *builder {
 	}}
 }
 
+// prealloc sizes the adjacency structures up front from known bounds:
+// total link count, per-switch link degree and per-switch host count.
+// switchLinks and switchHosts are carved out of two dense backing arrays
+// (full-slice expressions cap each window, so an overflow falls back to
+// an ordinary append-grown slice instead of clobbering a neighbor).
+// Generating a 100k-switch grid this way costs a fixed handful of
+// allocations instead of ~2 per switch.
+func (b *builder) prealloc(totalLinks, linksPerSwitch, hostsPerSwitch int) {
+	n := b.net
+	if totalLinks > 0 {
+		n.links = make([]Link, 0, totalLinks)
+	}
+	if linksPerSwitch > 0 {
+		backing := make([]int, n.numSwitches*linksPerSwitch)
+		for s := 0; s < n.numSwitches; s++ {
+			off := s * linksPerSwitch
+			n.switchLinks[s] = backing[off : off : off+linksPerSwitch]
+		}
+	}
+	if hostsPerSwitch > 0 {
+		backing := make([]int, n.numSwitches*hostsPerSwitch)
+		for s := 0; s < n.numSwitches; s++ {
+			off := s * hostsPerSwitch
+			n.switchHosts[s] = backing[off : off : off+hostsPerSwitch]
+		}
+	}
+}
+
 func (b *builder) addLink(a, c Node) int {
 	id := len(b.net.links)
 	b.net.links = append(b.net.links, Link{ID: id, A: a, B: c})
@@ -281,6 +322,10 @@ func Irregular(cfg IrregularConfig, rng *workload.RNG) *Network {
 			cfg.Hosts, cfg.Switches, cfg.Ports))
 	}
 	b := newBuilder(cfg.Hosts, cfg.Switches, cfg.Ports)
+	// Dense prealloc: every switch holds at most Ports incident links, and
+	// the link total is bounded by host cables plus half the switch-side
+	// port budget. Keeps 100k-host generation at a fixed allocation count.
+	b.prealloc(cfg.Hosts+cfg.Switches*cfg.Ports/2+1, cfg.Ports, hostsPer)
 	for h := 0; h < cfg.Hosts; h++ {
 		b.attachHost(h, h%cfg.Switches)
 	}
@@ -299,60 +344,86 @@ func Irregular(cfg IrregularConfig, rng *workload.RNG) *Network {
 		// Random spanning tree: connect each switch (in random order) to a
 		// random already-connected switch with port budget left. Budgets
 		// are >= 1 per switch by the hostsPer check, so this always works,
-		// though a hub switch may exhaust its ports; fall back to any
-		// connected switch with a free port.
+		// though a hub switch may exhaust its ports.
+		//
+		// cands is maintained incrementally as exactly the connected
+		// switches with a free port, in connection order — the same list
+		// the previous implementation rebuilt from scratch per switch, so
+		// the rng.Intn draw sequence (and thus every generated topology)
+		// is unchanged while generation drops from O(S²) to ~O(S).
 		order := rng.Perm(cfg.Switches)
-		connected := []int{order[0]}
-		inTree := make([]bool, cfg.Switches)
-		inTree[order[0]] = true
+		cands := make([]int, 0, cfg.Switches)
+		if free[order[0]] > 0 {
+			cands = append(cands, order[0])
+		}
 		for _, s := range order[1:] {
-			// Pick a random connected partner with a free port.
-			cands := make([]int, 0, len(connected))
-			for _, c := range connected {
-				if free[c] > 0 {
-					cands = append(cands, c)
-				}
-			}
 			if len(cands) == 0 {
 				panic("topology: spanning tree ran out of ports (config too tight)")
 			}
-			p := cands[rng.Intn(len(cands))]
+			pi := rng.Intn(len(cands))
+			p := cands[pi]
 			b.addLink(Switch(s), Switch(p))
 			free[s]--
 			free[p]--
-			connected = append(connected, s)
-			inTree[s] = true
+			if free[p] == 0 {
+				cands = append(cands[:pi], cands[pi+1:]...)
+			}
+			if free[s] > 0 {
+				cands = append(cands, s)
+			}
 		}
 		// Wire surplus ports in random pairs, rejecting self and parallel
-		// links. Bounded retries keep generation total.
-		hasLink := map[[2]int]bool{}
-		for _, l := range b.net.links {
-			if l.A.Kind == SwitchNode && l.B.Kind == SwitchNode {
-				hasLink[pairKey(l.A.Index, l.B.Index)] = true
+		// links. Bounded retries keep generation total. pool is maintained
+		// incrementally as the ascending list of switches with free ports
+		// (identical to the per-try rebuild it replaces, draw for draw).
+		// Parallel-link rejection scans the candidate's incident links —
+		// at most Ports of them — instead of keeping a map whose overflow
+		// buckets dominate the allocation count at 25k switches.
+		pool := make([]int, 0, cfg.Switches)
+		for s := 0; s < cfg.Switches; s++ {
+			if free[s] > 0 {
+				pool = append(pool, s)
 			}
 		}
 		for tries := 0; tries < 64*cfg.Switches; tries++ {
-			var pool []int
-			for s := 0; s < cfg.Switches; s++ {
-				if free[s] > 0 {
-					pool = append(pool, s)
-				}
-			}
 			if len(pool) < 2 {
 				break
 			}
-			a := pool[rng.Intn(len(pool))]
-			c := pool[rng.Intn(len(pool))]
-			if a == c || hasLink[pairKey(a, c)] {
+			ai := rng.Intn(len(pool))
+			ci := rng.Intn(len(pool))
+			a, c := pool[ai], pool[ci]
+			if a == c || b.net.switchesLinked(a, c) {
 				continue
 			}
 			b.addLink(Switch(a), Switch(c))
-			hasLink[pairKey(a, c)] = true
 			free[a]--
 			free[c]--
+			// Remove exhausted switches by descending position so the
+			// first removal cannot shift the second's index.
+			if ai < ci {
+				ai, ci = ci, ai
+				a, c = c, a
+			}
+			if free[a] == 0 {
+				pool = append(pool[:ai], pool[ai+1:]...)
+			}
+			if free[c] == 0 {
+				pool = append(pool[:ci], pool[ci+1:]...)
+			}
 		}
 	}
 	return b.net
+}
+
+// switchesLinked reports whether a direct switch-switch link joins a and b
+// — an O(Ports) scan of a's incident links.
+func (n *Network) switchesLinked(a, b int) bool {
+	for _, lid := range n.switchLinks[a] {
+		if o := n.links[lid].Other(Switch(a)); o.Kind == SwitchNode && o.Index == b {
+			return true
+		}
+	}
+	return false
 }
 
 func pairKey(a, b int) [2]int {
@@ -376,7 +447,13 @@ func Cube(arity, dims int) *Network {
 			panic("topology: cube too large")
 		}
 	}
+	perDim := n
+	if arity == 2 {
+		perDim = n / 2
+	}
 	b := newBuilder(n, n, 0)
+	b.prealloc(n+dims*perDim, 1+2*dims, 1)
+	b.net.gridArity, b.net.gridDims = arity, dims
 	for h := 0; h < n; h++ {
 		b.attachHost(h, h)
 	}
@@ -500,6 +577,8 @@ func Mesh(arity, dims int) *Network {
 		}
 	}
 	b := newBuilder(n, n, 0)
+	b.prealloc(n+dims*(n/arity)*(arity-1), 1+2*dims, 1)
+	b.net.gridArity, b.net.gridDims = arity, dims
 	for h := 0; h < n; h++ {
 		b.attachHost(h, h)
 	}
